@@ -1,0 +1,266 @@
+// Package bismarck is a Go reproduction of "Towards a Unified Architecture
+// for in-RDBMS Analytics" (Feng, Kumar, Recht, Ré — SIGMOD 2012): one
+// architecture that runs many analytics tasks as incremental gradient
+// descent (IGD) inside a database engine's user-defined-aggregate (UDA)
+// machinery.
+//
+// This root package is the public facade over the implementation packages:
+//
+//   - storage engine: heap files, catalog, scans, UDA executors
+//   - the IGD trainer, step rules, proximal operators
+//   - tasks: LR, SVM, least squares, LMF, CRF, Kalman, portfolio
+//   - ordering strategies (shuffle-once / shuffle-always / clustered)
+//   - parallel schemes (pure-UDA averaging, Lock, AIG, NoLock/Hogwild)
+//   - reservoir subsampling and multiplexed reservoir sampling (MRS)
+//   - baselines (IRLS, batch GD, ALS) and synthetic dataset generators
+//
+// Quick start:
+//
+//	tbl := bismarck.NewMemTable("train", bismarck.DenseExampleSchema)
+//	// ... insert (id, vec, label) tuples ...
+//	task := bismarck.NewLR(dim)
+//	res, err := (&bismarck.Trainer{
+//	    Task: task, Step: bismarck.DefaultStep(0.1),
+//	    MaxEpochs: 20, Order: bismarck.ShuffleOnce{},
+//	}).Run(tbl)
+//
+// See examples/ for complete programs and cmd/bench for the harness that
+// regenerates every table and figure of the paper's evaluation.
+package bismarck
+
+import (
+	"bismarck/internal/baselines"
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/ordering"
+	"bismarck/internal/parallel"
+	"bismarck/internal/sampling"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+// --- vectors ---
+
+type (
+	// Dense is a dense float64 feature/model vector.
+	Dense = vector.Dense
+	// Sparse is a sparse vector in sorted coordinate form.
+	Sparse = vector.Sparse
+)
+
+// NewSparse builds a sparse vector from index/value pairs.
+func NewSparse(idx []int32, val []float64) Sparse { return vector.NewSparse(idx, val) }
+
+// --- storage engine ---
+
+type (
+	// Catalog is a registry of tables, in-memory or file-backed.
+	Catalog = engine.Catalog
+	// Table is a heap of typed tuples with scan, shuffle, and cluster ops.
+	Table = engine.Table
+	// Schema describes a table's columns.
+	Schema = engine.Schema
+	// Column is one column of a schema.
+	Column = engine.Column
+	// Tuple is one typed row.
+	Tuple = engine.Tuple
+	// Value is one typed cell.
+	Value = engine.Value
+	// UDA is the initialize/transition/terminate aggregate contract.
+	UDA = engine.UDA
+	// Profile emulates a hosting engine's execution characteristics.
+	Profile = engine.Profile
+	// SharedMemory mimics the RDBMS shared-memory facility.
+	SharedMemory = engine.SharedMemory
+)
+
+// Column type tags.
+const (
+	TInt64     = engine.TInt64
+	TFloat64   = engine.TFloat64
+	TString    = engine.TString
+	TDenseVec  = engine.TDenseVec
+	TSparseVec = engine.TSparseVec
+	TInt32Vec  = engine.TInt32Vec
+)
+
+// Value constructors.
+var (
+	I64     = engine.I64
+	F64     = engine.F64
+	Str     = engine.Str
+	DenseV  = engine.DenseV
+	SparseV = engine.SparseV
+	IntsV   = engine.IntsV
+)
+
+// NewMemTable creates an in-memory table.
+func NewMemTable(name string, schema Schema) *Table { return engine.NewMemTable(name, schema) }
+
+// NewCatalog creates an in-memory catalog.
+func NewCatalog() *Catalog { return engine.NewCatalog() }
+
+// OpenFileCatalog opens (or initializes) a file-backed catalog directory.
+func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
+	return engine.OpenFileCatalog(dir, poolPages)
+}
+
+// Engine profiles from the paper's evaluation.
+var (
+	ProfilePostgres = engine.ProfilePostgres
+	ProfileDBMSA    = engine.ProfileDBMSA
+	ProfileDBMSB    = engine.ProfileDBMSB
+)
+
+// --- the Bismarck core ---
+
+type (
+	// Task is one analytics technique: a per-tuple gradient step + loss.
+	Task = core.Task
+	// Model is the mutable aggregation state a Step updates.
+	Model = core.Model
+	// Trainer is the sequential Bismarck epoch loop.
+	Trainer = core.Trainer
+	// Result reports a finished training run.
+	Result = core.Result
+	// StepRule produces per-epoch step sizes.
+	StepRule = core.StepRule
+	// ConstantStep is a fixed step size.
+	ConstantStep = core.ConstantStep
+	// DiminishingStep is the divergent-series rule A0/(1+e)^p.
+	DiminishingStep = core.DiminishingStep
+	// GeometricStep is A0·ρ^e.
+	GeometricStep = core.GeometricStep
+	// OrderStrategy prepares the table order before each epoch.
+	OrderStrategy = core.OrderStrategy
+	// IGDAggregate is IGD expressed as a standard UDA.
+	IGDAggregate = core.IGDAggregate
+)
+
+// DefaultStep is a mildly decaying geometric rule.
+func DefaultStep(a0 float64) StepRule { return core.DefaultStep(a0) }
+
+// TotalLoss evaluates a task's objective over a table.
+func TotalLoss(t Task, w Dense, tbl *Table) (float64, error) { return core.TotalLoss(t, w, tbl) }
+
+// TuneStep grid-searches initial step sizes (best first).
+var TuneStep = core.TuneStep
+
+// DefaultStepGrid is a decade-spanning step-size candidate grid.
+var DefaultStepGrid = core.DefaultStepGrid
+
+// Proximal operators (Appendix A).
+var (
+	ProxL1         = core.ProxL1
+	ProxL2         = core.ProxL2
+	ProjectSimplex = core.ProjectSimplex
+	ProjectBall2   = core.ProjectBall2
+)
+
+// --- tasks ---
+
+// Standard schemas for the built-in tasks.
+var (
+	DenseExampleSchema  = tasks.DenseExampleSchema
+	SparseExampleSchema = tasks.SparseExampleSchema
+	RatingSchema        = tasks.RatingSchema
+	SeqSchema           = tasks.SeqSchema
+	SeriesSchema        = tasks.SeriesSchema
+	ReturnSchema        = tasks.ReturnSchema
+)
+
+type (
+	// LR is logistic regression.
+	LR = tasks.LR
+	// SVM is a linear support vector machine.
+	SVM = tasks.SVM
+	// LeastSquares is plain least squares (the CA-TX model).
+	LeastSquares = tasks.LeastSquares
+	// LMF is low-rank matrix factorization.
+	LMF = tasks.LMF
+	// CRF is a linear-chain conditional random field.
+	CRF = tasks.CRF
+	// Kalman fits noisy time series.
+	Kalman = tasks.Kalman
+	// Portfolio optimizes a simplex-constrained portfolio.
+	Portfolio = tasks.Portfolio
+	// Lasso is L1-regularized least squares.
+	Lasso = tasks.Lasso
+	// Softmax is multiclass logistic regression.
+	Softmax = tasks.Softmax
+	// MaxCut is the low-rank relaxation of MAX-CUT (the §5 extension).
+	MaxCut = tasks.MaxCut
+	// BinaryMetrics summarizes binary classification quality.
+	BinaryMetrics = tasks.BinaryMetrics
+)
+
+// Task constructors.
+var (
+	NewLR           = tasks.NewLR
+	NewSVM          = tasks.NewSVM
+	NewLeastSquares = tasks.NewLeastSquares
+	NewLMF          = tasks.NewLMF
+	NewCRF          = tasks.NewCRF
+	NewKalman       = tasks.NewKalman
+	NewPortfolio    = tasks.NewPortfolio
+	NewLasso        = tasks.NewLasso
+	NewSoftmax      = tasks.NewSoftmax
+	NewMaxCut       = tasks.NewMaxCut
+	// EvaluateBinary scores a binary classifier over a labeled table.
+	EvaluateBinary = tasks.EvaluateBinary
+)
+
+// --- ordering strategies (§3.2) ---
+
+type (
+	// ShuffleOnce shuffles before the first epoch only (Bismarck default).
+	ShuffleOnce = ordering.ShuffleOnce
+	// ShuffleAlways reshuffles before every epoch.
+	ShuffleAlways = ordering.ShuffleAlways
+	// Clustered trains on the stored order.
+	Clustered = ordering.Clustered
+)
+
+// --- parallelism (§3.3) ---
+
+type (
+	// ParallelTrainer runs the epoch loop with a parallel IGD aggregate.
+	ParallelTrainer = parallel.Trainer
+	// ParallelMode selects PureUDA / Lock / AIG / NoLock.
+	ParallelMode = parallel.Mode
+	// AtomicModel is the CAS/racy shared model for AIG and NoLock.
+	AtomicModel = parallel.AtomicModel
+)
+
+// Parallelization schemes.
+const (
+	PureUDA = parallel.PureUDA
+	Lock    = parallel.Lock
+	AIG     = parallel.AIG
+	NoLock  = parallel.NoLock
+)
+
+// --- sampling (§3.4) ---
+
+type (
+	// Reservoir is a uniform without-replacement sampler.
+	Reservoir = sampling.Reservoir
+	// SubsampleTrainer trains on one reservoir sample only.
+	SubsampleTrainer = sampling.SubsampleTrainer
+	// MRSTrainer is multiplexed reservoir sampling.
+	MRSTrainer = sampling.MRSTrainer
+)
+
+// NewReservoir returns a reservoir of the given capacity.
+var NewReservoir = sampling.NewReservoir
+
+// --- baselines ---
+
+type (
+	// IRLS is Newton-method logistic regression (MADlib-style).
+	IRLS = baselines.IRLS
+	// BatchGD is full-gradient descent over any task.
+	BatchGD = baselines.BatchGD
+	// ALS is alternating least squares matrix factorization.
+	ALS = baselines.ALS
+)

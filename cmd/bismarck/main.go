@@ -1,0 +1,67 @@
+// Command bismarck is the MADlib-style front end of §2.1: it executes
+// statements like
+//
+//	bismarck -data ./db "SELECT SVMTrain('myModel', 'papers', 'vec', 'label')"
+//	bismarck -data ./db "SELECT Predict('myModel', 'papers', 'vec')"
+//
+// against a file catalog created with the datagen command. Supported
+// functions: LRTrain, SVMTrain, LMFTrain, CRFTrain, Predict, Tables.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/sqlish"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
+		epochs  = flag.Int("epochs", 20, "training epochs")
+		alpha   = flag.Float64("alpha", 0.1, "initial step size")
+	)
+	flag.Parse()
+
+	cat, err := engine.OpenFileCatalog(*dataDir, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
+		os.Exit(1)
+	}
+	defer cat.Close()
+
+	sess := &sqlish.Session{Cat: cat, Out: os.Stdout, Epochs: *epochs, Alpha: *alpha}
+
+	runOne := func(stmt string) {
+		if err := sess.Exec(stmt); err != nil {
+			fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if flag.NArg() > 0 {
+		for _, stmt := range flag.Args() {
+			runOne(stmt)
+		}
+	} else {
+		// REPL over stdin.
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Println("bismarck> enter statements, one per line (Ctrl-D to quit)")
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			if err := sess.Exec(line); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+	}
+	if err := cat.Save(); err != nil {
+		fmt.Fprintf(os.Stderr, "bismarck: saving catalog: %v\n", err)
+		os.Exit(1)
+	}
+}

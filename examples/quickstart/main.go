@@ -1,0 +1,75 @@
+// Quickstart: train a logistic regression classifier end-to-end with the
+// Bismarck public API — build a table, run the IGD trainer with
+// shuffle-once ordering, evaluate accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bismarck"
+)
+
+func main() {
+	// 1. Create a table of labeled examples: (id, vec, label).
+	tbl := bismarck.NewMemTable("train", bismarck.DenseExampleSchema)
+	rng := rand.New(rand.NewSource(1))
+	const n, d = 2000, 10
+	truth := make(bismarck.Dense, d)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	dot := func(a, b bismarck.Dense) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	for i := 0; i < n; i++ {
+		x := make(bismarck.Dense, d)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := 1.0
+		if dot(truth, x)+0.3*rng.NormFloat64() < 0 {
+			y = -1
+		}
+		if err := tbl.Insert(bismarck.Tuple{bismarck.I64(int64(i)), bismarck.DenseV(x), bismarck.F64(y)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Train: logistic regression via incremental gradient descent,
+	// expressed as a user-defined aggregate over the table.
+	task := bismarck.NewLR(d)
+	trainer := &bismarck.Trainer{
+		Task:      task,
+		Step:      bismarck.DefaultStep(0.2),
+		MaxEpochs: 25,
+		RelTol:    1e-4,
+		Order:     bismarck.ShuffleOnce{},
+		Seed:      1,
+	}
+	res, err := trainer.Run(tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s in %d epochs (%.1fms), final loss %.2f\n",
+		task.Name(), res.Epochs, float64(res.Total.Microseconds())/1000, res.FinalLoss())
+
+	// 3. Evaluate on the training table.
+	correct := 0
+	err = tbl.Scan(func(tp bismarck.Tuple) error {
+		p := task.Predict(res.Model, tp[1])
+		if (p > 0.5) == (tp[2].Float > 0) {
+			correct++
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training accuracy: %d/%d = %.1f%%\n", correct, n, 100*float64(correct)/n)
+}

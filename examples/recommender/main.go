@@ -1,0 +1,83 @@
+// Recommender: low-rank matrix factorization on a MovieLens-style ratings
+// table, trained by IGD (the paper's LMF task), then used to predict
+// held-out ratings.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bismarck"
+	"bismarck/internal/data"
+)
+
+func main() {
+	const (
+		users, items = 500, 400
+		rank         = 8
+	)
+	ratings := data.MovieLens(users, items, 30000, rank, 0.2, 11)
+
+	// Hold out every 10th rating for evaluation.
+	train := bismarck.NewMemTable("train", bismarck.RatingSchema)
+	test := bismarck.NewMemTable("test", bismarck.RatingSchema)
+	i := 0
+	err := ratings.Scan(func(tp bismarck.Tuple) error {
+		dst := train
+		if i%10 == 0 {
+			dst = test
+		}
+		i++
+		return dst.Insert(tp)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	task := bismarck.NewLMF(users, items, rank)
+	task.Mu = 0.02 // a little Frobenius regularization for generalization
+	task.InitScale = 0.5
+	tr := &bismarck.Trainer{
+		Task: task, Step: bismarck.GeometricStep{A0: 0.04, Rho: 0.95},
+		MaxEpochs: 60, Order: bismarck.ShuffleOnce{}, Seed: 11,
+	}
+	res, err := tr.Run(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LMF trained: %d epochs, train loss %.1f\n", res.Epochs, res.FinalLoss())
+
+	// Evaluate RMSE on the held-out ratings.
+	var se float64
+	n := 0
+	err = test.Scan(func(tp bismarck.Tuple) error {
+		pred := task.Predict(res.Model, int(tp[0].Int), int(tp[1].Int))
+		d := pred - tp[2].Float
+		se += d * d
+		n++
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out RMSE over %d ratings: %.3f (rating scale 1-5)\n", n, rmse(se, n))
+
+	// Show a few predictions.
+	shown := 0
+	test.Scan(func(tp bismarck.Tuple) error {
+		if shown < 5 {
+			fmt.Printf("  user %3d, item %3d: actual %.1f, predicted %.2f\n",
+				tp[0].Int, tp[1].Int, tp[2].Float, task.Predict(res.Model, int(tp[0].Int), int(tp[1].Int)))
+			shown++
+		}
+		return nil
+	})
+}
+
+func rmse(se float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(se / float64(n))
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// igdState is the aggregation context of the IGD UDA: the model plus meta
+// data (the number of gradient steps folded into it, which weighs merges).
+type igdState struct {
+	w     vector.Dense
+	steps int
+	loss  float64 // piggybacked online loss (sum of pre-step example losses)
+}
+
+// CopyState implements engine.StateCopier so the DBMS A profile can charge
+// model-passing overhead at merge boundaries.
+func (s *igdState) CopyState() engine.State {
+	return &igdState{w: s.w.Clone(), steps: s.steps, loss: s.loss}
+}
+
+// IGDAggregate is incremental gradient descent expressed as a standard
+// user-defined aggregate (§3.1): initialize loads the model, transition
+// performs one gradient step per tuple, merge averages two independently
+// trained models weighted by their step counts (the model-averaging scheme
+// of Zinkevich et al. that makes IGD "essentially algebraic"), and
+// terminate returns the model.
+type IGDAggregate struct {
+	Task  Task
+	Alpha float64      // step size for this epoch
+	Init  vector.Dense // model at the start of the epoch
+	// PiggybackLoss accumulates each example's loss (under the model right
+	// before its step) during the same scan — the paper's "piggybacked onto
+	// the IGD UDA" loss computation, which saves a second pass per epoch.
+	PiggybackLoss bool
+}
+
+// Initialize implements engine.UDA.
+func (a *IGDAggregate) Initialize() engine.State {
+	return &igdState{w: a.Init.Clone()}
+}
+
+// Transition implements engine.UDA.
+func (a *IGDAggregate) Transition(s engine.State, t engine.Tuple) engine.State {
+	st := s.(*igdState)
+	if a.PiggybackLoss {
+		st.loss += a.Task.Loss(st.w, t)
+	}
+	a.Task.Step(&DenseModel{W: st.w}, t, a.Alpha)
+	st.steps++
+	return st
+}
+
+// Merge implements engine.Merger by step-count-weighted model averaging.
+func (a *IGDAggregate) Merge(x, y engine.State) engine.State {
+	sx, sy := x.(*igdState), y.(*igdState)
+	tot := sx.steps + sy.steps
+	if tot == 0 {
+		return sx
+	}
+	cx := float64(sx.steps) / float64(tot)
+	cy := float64(sy.steps) / float64(tot)
+	for i := range sx.w {
+		sx.w[i] = cx*sx.w[i] + cy*sy.w[i]
+	}
+	sx.steps = tot
+	sx.loss += sy.loss
+	return sx
+}
+
+// Terminate implements engine.UDA.
+func (a *IGDAggregate) Terminate(s engine.State) engine.State { return s }
+
+// OrderStrategy prepares the physical order of the data table before an
+// epoch: ShuffleAlways, ShuffleOnce, or Clustered (no-op). Implementations
+// live in internal/ordering.
+type OrderStrategy interface {
+	Name() string
+	// Prepare is called before epoch e (0-based) runs.
+	Prepare(tbl *engine.Table, epoch int, rng *rand.Rand) error
+}
+
+// NoOrder leaves the table untouched (i.e. "Clustered" when the table is
+// physically clustered).
+type NoOrder struct{}
+
+// Name implements OrderStrategy.
+func (NoOrder) Name() string { return "AsStored" }
+
+// Prepare implements OrderStrategy.
+func (NoOrder) Prepare(*engine.Table, int, *rand.Rand) error { return nil }
+
+// Trainer drives the Bismarck epoch loop of Figure 2: run the IGD aggregate
+// over the data, compute the loss, test convergence, repeat.
+type Trainer struct {
+	Task Task
+	Step StepRule
+	// MaxEpochs bounds the loop (required, > 0).
+	MaxEpochs int
+	// RelTol stops when the relative loss drop between consecutive epochs
+	// falls below it (0 disables). 1e-3 reproduces the paper's "0.1%
+	// tolerance" completion criterion.
+	RelTol float64
+	// TargetLoss stops as soon as the epoch loss is ≤ this value (0
+	// disables); used to measure time-to-quality against baselines.
+	TargetLoss float64
+	// Order is applied before each epoch; nil means NoOrder.
+	Order OrderStrategy
+	// Profile selects the hosting engine emulation; zero value is a plain
+	// sequential scan.
+	Profile engine.Profile
+	// Seed drives shuffling and model initialization.
+	Seed int64
+	// InitModel overrides the task's initial model when non-nil.
+	InitModel vector.Dense
+	// SkipLoss disables per-epoch loss evaluation (then RelTol/TargetLoss
+	// cannot fire and the loop always runs MaxEpochs).
+	SkipLoss bool
+	// PiggybackLoss computes the per-epoch loss during the gradient scan
+	// itself (each example's loss under the model just before its step)
+	// instead of a separate aggregation pass. It is an online approximation
+	// of the objective, and the convergence tests run against it.
+	PiggybackLoss bool
+	// Deadline, when nonzero, aborts the run with ErrDeadline before any
+	// epoch that would start after it. The partial Result is still returned.
+	Deadline time.Time
+}
+
+// ErrDeadline reports that a trainer hit its Deadline; the partial result
+// accompanies it. Used by the Table 4 scalability harness to record "did
+// not finish within budget" outcomes.
+var ErrDeadline = errors.New("bismarck: training deadline exceeded")
+
+// Result reports a finished training run.
+type Result struct {
+	Model      vector.Dense
+	Epochs     int
+	Losses     []float64 // loss after each epoch (empty if SkipLoss)
+	EpochTimes []time.Duration
+	Converged  bool
+	Total      time.Duration
+}
+
+// FinalLoss returns the last recorded loss, or NaN if none.
+func (r *Result) FinalLoss() float64 {
+	if len(r.Losses) == 0 {
+		return math.NaN()
+	}
+	return r.Losses[len(r.Losses)-1]
+}
+
+// Run trains the task over the table and returns the result.
+func (tr *Trainer) Run(tbl *engine.Table) (*Result, error) {
+	if tr.MaxEpochs <= 0 {
+		return nil, fmt.Errorf("core: Trainer.MaxEpochs must be > 0")
+	}
+	if tr.Step == nil {
+		return nil, fmt.Errorf("core: Trainer.Step is required")
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	w := tr.InitModel
+	if w == nil {
+		w = InitialModel(tr.Task, tr.Seed)
+	} else {
+		w = w.Clone()
+	}
+	order := tr.Order
+	if order == nil {
+		order = NoOrder{}
+	}
+
+	res := &Result{}
+	start := time.Now()
+	prevLoss := math.NaN()
+	for e := 0; e < tr.MaxEpochs; e++ {
+		if !tr.Deadline.IsZero() && time.Now().After(tr.Deadline) {
+			res.Model = w
+			res.Total = time.Since(start)
+			return res, ErrDeadline
+		}
+		epochStart := time.Now()
+		if err := order.Prepare(tbl, e, rng); err != nil {
+			return nil, err
+		}
+		agg := &IGDAggregate{Task: tr.Task, Alpha: tr.Step.Alpha(e), Init: w,
+			PiggybackLoss: tr.PiggybackLoss && !tr.SkipLoss}
+		out, err := engine.RunUDA(tbl, agg, tr.Profile)
+		if err != nil {
+			return nil, err
+		}
+		st := out.(*igdState)
+		w = st.w
+		res.Epochs = e + 1
+
+		if !tr.SkipLoss {
+			var loss float64
+			if tr.PiggybackLoss {
+				loss = st.loss
+				if r, ok := tr.Task.(Regularized); ok {
+					loss += r.RegPenalty(w)
+				}
+			} else {
+				var err error
+				loss, err = TotalLoss(tr.Task, w, tbl)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res.Losses = append(res.Losses, loss)
+			res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+			if tr.TargetLoss != 0 && loss <= tr.TargetLoss {
+				res.Converged = true
+				break
+			}
+			if tr.RelTol > 0 && !math.IsNaN(prevLoss) {
+				den := math.Abs(prevLoss)
+				if den == 0 {
+					den = 1
+				}
+				if math.Abs(prevLoss-loss)/den < tr.RelTol {
+					res.Converged = true
+					break
+				}
+			}
+			prevLoss = loss
+		} else {
+			res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+		}
+	}
+	res.Model = w
+	res.Total = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: incremental
+// gradient descent (IGD) expressed as a user-defined aggregate, plus the
+// surrounding machinery — step-size rules, proximal operators for
+// constraints/regularization (Appendix A), convergence tests (Appendix B),
+// and the epoch loop of Figure 2.
+package core
+
+import (
+	"sync"
+
+	"bismarck/internal/vector"
+)
+
+// Model is the mutable aggregation state a task's transition function
+// updates: Get reads component i, Add applies a (possibly concurrent)
+// additive update. Abstracting the update lets the *same* task code run
+// sequentially, under a global lock, with per-component atomics (AIG), or
+// entirely unsynchronized (NoLock/Hogwild) — the paper's §3.3 schemes are
+// just different Model implementations.
+type Model interface {
+	// Dim returns the number of components.
+	Dim() int
+	// Get returns component i.
+	Get(i int) float64
+	// Add adds delta to component i.
+	Add(i int, delta float64)
+	// Snapshot copies the current components into a dense vector. Under
+	// concurrent updates the copy is only loosely consistent, which is all
+	// the loss computation needs.
+	Snapshot() vector.Dense
+}
+
+// DenseModel is the plain single-threaded model: a dense coefficient vector.
+type DenseModel struct {
+	W vector.Dense
+}
+
+// NewDenseModel returns a zero model of dimension d.
+func NewDenseModel(d int) *DenseModel { return &DenseModel{W: vector.NewDense(d)} }
+
+// Dim implements Model.
+func (m *DenseModel) Dim() int { return len(m.W) }
+
+// Get implements Model.
+func (m *DenseModel) Get(i int) float64 { return m.W[i] }
+
+// Add implements Model.
+func (m *DenseModel) Add(i int, delta float64) { m.W[i] += delta }
+
+// Snapshot implements Model.
+func (m *DenseModel) Snapshot() vector.Dense { return m.W.Clone() }
+
+// LockedModel wraps a dense vector with a single global mutex taken around
+// every component access — the paper's "Lock" scheme, which serializes all
+// workers and therefore shows no speed-up in Figure 9(B). Whole-step
+// critical sections are available via LockStep for trainers that lock once
+// per gradient step instead of once per component.
+type LockedModel struct {
+	mu sync.Mutex
+	W  vector.Dense
+}
+
+// NewLockedModel returns a zero locked model of dimension d.
+func NewLockedModel(d int) *LockedModel { return &LockedModel{W: vector.NewDense(d)} }
+
+// Dim implements Model.
+func (m *LockedModel) Dim() int { return len(m.W) }
+
+// Get implements Model.
+func (m *LockedModel) Get(i int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.W[i]
+}
+
+// Add implements Model.
+func (m *LockedModel) Add(i int, delta float64) {
+	m.mu.Lock()
+	m.W[i] += delta
+	m.mu.Unlock()
+}
+
+// LockStep runs fn with the model lock held, passing the raw vector; fn
+// must not retain it. This gives per-gradient-step locking granularity.
+func (m *LockedModel) LockStep(fn func(w vector.Dense)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m.W)
+}
+
+// Snapshot implements Model.
+func (m *LockedModel) Snapshot() vector.Dense {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.W.Clone()
+}

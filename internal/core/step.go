@@ -1,0 +1,51 @@
+package core
+
+import "math"
+
+// StepRule produces the step size α_k for a gradient step. The paper's
+// Appendix B discusses the rules real systems use: constant step sizes set
+// by an expert, the divergent-series (diminishing) rule, and the geometric
+// rule α_k = α0·ρ^k. We expose all three; steps are indexed by epoch, which
+// is how Bismarck's epoch loop naturally decays them.
+type StepRule interface {
+	// Alpha returns the step size for the given epoch (0-based).
+	Alpha(epoch int) float64
+}
+
+// ConstantStep uses a fixed step size.
+type ConstantStep struct{ A float64 }
+
+// Alpha implements StepRule.
+func (s ConstantStep) Alpha(int) float64 { return s.A }
+
+// DiminishingStep implements the divergent series rule α_e = A0/(1+e)^p
+// with p in (0.5, 1]; Σα = ∞ and α → 0 as required for convergence.
+type DiminishingStep struct {
+	A0 float64
+	P  float64 // exponent; 0 means 1 (classic 1/k)
+}
+
+// Alpha implements StepRule.
+func (s DiminishingStep) Alpha(epoch int) float64 {
+	p := s.P
+	if p == 0 {
+		p = 1
+	}
+	return s.A0 / math.Pow(float64(epoch+1), p)
+}
+
+// GeometricStep implements α_e = A0·ρ^e with 0 < ρ < 1; the rule Bismarck
+// uses by default because it works well in practice with per-epoch decay.
+type GeometricStep struct {
+	A0  float64
+	Rho float64
+}
+
+// Alpha implements StepRule.
+func (s GeometricStep) Alpha(epoch int) float64 {
+	return s.A0 * math.Pow(s.Rho, float64(epoch))
+}
+
+// DefaultStep is the geometric rule with a mild decay, a reasonable default
+// across the paper's tasks.
+func DefaultStep(a0 float64) StepRule { return GeometricStep{A0: a0, Rho: 0.95} }

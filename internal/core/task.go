@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Task is one analytics technique plugged into Bismarck: it supplies the
+// per-tuple gradient step (the body of the UDA transition function, Figure
+// 4 of the paper) and the per-tuple loss used by convergence tests. The
+// rest of the architecture — epoch loop, ordering, parallelism, sampling —
+// is shared across all tasks.
+type Task interface {
+	// Name identifies the task (e.g. "LR", "SVM", "LMF", "CRF").
+	Name() string
+	// Dim is the flattened model dimension.
+	Dim() int
+	// Step performs one incremental gradient update on m for tuple t with
+	// step size alpha (Eq. 2), including any per-step proximal/projection
+	// work the task needs (Eq. 3).
+	Step(m Model, t engine.Tuple, alpha float64)
+	// Loss evaluates the tuple's contribution to the objective at w.
+	Loss(w vector.Dense, t engine.Tuple) float64
+}
+
+// Initializer is implemented by tasks whose models should not start at
+// zero (e.g. LMF factors start at small random values, portfolio weights
+// start uniform on the simplex).
+type Initializer interface {
+	InitModel(seed int64) vector.Dense
+}
+
+// Regularized is implemented by tasks with a nonzero P(w) term whose value
+// should be added once per loss evaluation (not once per tuple).
+type Regularized interface {
+	RegPenalty(w vector.Dense) float64
+}
+
+// InitialModel returns the task's preferred starting model: the task's own
+// initializer if present, otherwise zeros.
+func InitialModel(t Task, seed int64) vector.Dense {
+	if init, ok := t.(Initializer); ok {
+		return init.InitModel(seed)
+	}
+	return vector.NewDense(t.Dim())
+}
+
+// TotalLoss computes sum_i f(w, z_i) (+ P(w) if the task is Regularized)
+// with a sequential aggregation scan — the loss UDA of §3.1.
+func TotalLoss(t Task, w vector.Dense, tbl *engine.Table) (float64, error) {
+	var sum float64
+	err := tbl.Scan(func(tp engine.Tuple) error {
+		sum += t.Loss(w, tp)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if r, ok := t.(Regularized); ok {
+		sum += r.RegPenalty(w)
+	}
+	return sum, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bismarck/internal/engine"
+)
+
+// TuneResult reports one candidate's outcome in a step-size search.
+type TuneResult struct {
+	A0   float64
+	Loss float64
+}
+
+// TuneStep performs the "extensive search in the parameter space" the paper
+// runs for every tool: it trains the task for a few probe epochs at each
+// candidate initial step size and returns the candidates ranked by final
+// loss (best first). Diverged runs (NaN/Inf loss) rank last.
+//
+// The probe runs train on the table as stored; pass a pre-shuffled table
+// for order-sensitive workloads.
+func TuneStep(task Task, tbl *engine.Table, candidates []float64, probeEpochs int, seed int64) ([]TuneResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: TuneStep needs candidates")
+	}
+	if probeEpochs <= 0 {
+		probeEpochs = 3
+	}
+	out := make([]TuneResult, 0, len(candidates))
+	for _, a0 := range candidates {
+		tr := &Trainer{Task: task, Step: DefaultStep(a0), MaxEpochs: probeEpochs, Seed: seed}
+		res, err := tr.Run(tbl)
+		if err != nil {
+			return nil, err
+		}
+		loss := res.FinalLoss()
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			loss = math.Inf(1)
+		}
+		out = append(out, TuneResult{A0: a0, Loss: loss})
+	}
+	// Stable selection sort by loss (tiny n).
+	for i := 0; i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Loss < out[best].Loss {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out, nil
+}
+
+// DefaultStepGrid is a decade-spanning candidate grid suitable for most
+// tasks after feature scaling.
+func DefaultStepGrid() []float64 {
+	return []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTuneStepRanksByLoss(t *testing.T) {
+	tbl := meanTable([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	// A huge step diverges on this quadratic; a moderate step converges.
+	res, err := TuneStep(meanTask{}, tbl, []float64{1e-6, 0.3, 5}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].A0 != 0.3 {
+		t.Fatalf("best a0 = %v, want 0.3 (results %+v)", res[0].A0, res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Loss < res[i-1].Loss {
+			t.Fatalf("results not sorted: %+v", res)
+		}
+	}
+}
+
+func TestTuneStepDivergedRanksLast(t *testing.T) {
+	tbl := meanTable([]float64{1, -1, 1, -1})
+	res, err := TuneStep(meanTask{}, tbl, []float64{0.1, 1e9}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[len(res)-1].A0 != 1e9 {
+		t.Fatalf("diverging step should rank last: %+v", res)
+	}
+}
+
+func TestTuneStepValidation(t *testing.T) {
+	tbl := meanTable([]float64{1})
+	if _, err := TuneStep(meanTask{}, tbl, nil, 3, 1); err == nil {
+		t.Fatal("expected error for empty candidates")
+	}
+}
+
+func TestDefaultStepGridSpansDecades(t *testing.T) {
+	g := DefaultStepGrid()
+	if len(g) < 5 || g[0] >= g[len(g)-1] {
+		t.Fatalf("grid %v", g)
+	}
+}

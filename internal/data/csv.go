@@ -1,0 +1,125 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+// This file bridges Bismarck tables to CSV so users can train on their own
+// data: dense examples as label,f1,f2,...,fd rows and ratings as i,j,v
+// rows.
+
+// ReadDenseCSV loads rows of the form label,f1,...,fd into a dense-example
+// table. All rows must have the same arity; the label is the first column.
+func ReadDenseCSV(r io.Reader, name string) (*engine.Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	tbl := engine.NewMemTable(name, tasks.DenseExampleSchema)
+	dim := -1
+	id := int64(0)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row %d: %w", id+1, err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("data: csv row %d has %d fields, need label + features", id+1, len(rec))
+		}
+		if dim == -1 {
+			dim = len(rec) - 1
+		} else if len(rec)-1 != dim {
+			return nil, fmt.Errorf("data: csv row %d has %d features, want %d", id+1, len(rec)-1, dim)
+		}
+		label, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row %d label: %w", id+1, err)
+		}
+		x := make(vector.Dense, dim)
+		for i := 0; i < dim; i++ {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: csv row %d field %d: %w", id+1, i+1, err)
+			}
+			x[i] = v
+		}
+		if err := tbl.Insert(engine.Tuple{engine.I64(id), engine.DenseV(x), engine.F64(label)}); err != nil {
+			return nil, err
+		}
+		id++
+	}
+	return tbl, nil
+}
+
+// WriteDenseCSV writes a dense-example table as label,f1,...,fd rows.
+func WriteDenseCSV(w io.Writer, tbl *engine.Table) error {
+	cw := csv.NewWriter(w)
+	err := tbl.Scan(func(tp engine.Tuple) error {
+		x := tp[tasks.ColVec].Dense
+		rec := make([]string, 0, len(x)+1)
+		rec = append(rec, strconv.FormatFloat(tp[tasks.ColLabel].Float, 'g', -1, 64))
+		for _, v := range x {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		return cw.Write(rec)
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRatingsCSV loads rows of the form i,j,value into a rating table.
+func ReadRatingsCSV(r io.Reader, name string) (*engine.Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = 3
+	tbl := engine.NewMemTable(name, tasks.RatingSchema)
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: ratings csv row %d: %w", row+1, err)
+		}
+		i, err1 := strconv.ParseInt(rec[0], 10, 64)
+		j, err2 := strconv.ParseInt(rec[1], 10, 64)
+		v, err3 := strconv.ParseFloat(rec[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("data: ratings csv row %d: bad fields %v", row+1, rec)
+		}
+		if err := tbl.Insert(engine.Tuple{engine.I64(i), engine.I64(j), engine.F64(v)}); err != nil {
+			return nil, err
+		}
+		row++
+	}
+	return tbl, nil
+}
+
+// WriteRatingsCSV writes a rating table as i,j,value rows.
+func WriteRatingsCSV(w io.Writer, tbl *engine.Table) error {
+	cw := csv.NewWriter(w)
+	err := tbl.Scan(func(tp engine.Tuple) error {
+		return cw.Write([]string{
+			strconv.FormatInt(tp[0].Int, 10),
+			strconv.FormatInt(tp[1].Int, 10),
+			strconv.FormatFloat(tp[2].Float, 'g', -1, 64),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

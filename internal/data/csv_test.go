@@ -1,0 +1,84 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bismarck/internal/engine"
+)
+
+func TestDenseCSVRoundTrip(t *testing.T) {
+	src := Forest(50, 1)
+	var buf bytes.Buffer
+	if err := WriteDenseCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDenseCSV(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 50 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	// Spot check: rows must match pairwise.
+	type row struct {
+		label float64
+		f0    float64
+	}
+	var a, b []row
+	src.Scan(func(tp engine.Tuple) error {
+		a = append(a, row{tp[2].Float, tp[1].Dense[0]})
+		return nil
+	})
+	back.Scan(func(tp engine.Tuple) error {
+		b = append(b, row{tp[2].Float, tp[1].Dense[0]})
+		return nil
+	})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadDenseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row":   "1\n",
+		"ragged rows": "1,2,3\n-1,4\n",
+		"bad label":   "abc,1,2\n",
+		"bad feature": "1,xyz,2\n",
+	}
+	for name, csvText := range cases {
+		if _, err := ReadDenseCSV(strings.NewReader(csvText), "t"); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRatingsCSVRoundTrip(t *testing.T) {
+	src := MovieLens(20, 15, 200, 3, 0.1, 2)
+	var buf bytes.Buffer
+	if err := WriteRatingsCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRatingsCSV(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 200 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+}
+
+func TestReadRatingsCSVErrors(t *testing.T) {
+	for name, txt := range map[string]string{
+		"bad int":   "a,1,2\n",
+		"bad float": "1,2,x\n",
+		"arity":     "1,2\n",
+	} {
+		if _, err := ReadRatingsCSV(strings.NewReader(txt), "t"); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

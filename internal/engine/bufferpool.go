@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// BufferPool is a fixed-capacity read cache of pages over a random-access
+// file, with LRU replacement. The heap is append-only and writes go straight
+// to the file, so the pool never holds dirty pages; Invalidate evicts stale
+// entries after an append or rewrite.
+type BufferPool struct {
+	mu    sync.Mutex
+	src   io.ReaderAt
+	cap   int
+	pages map[int]*list.Element
+	lru   *list.List // front = most recent
+
+	hits   int64
+	misses int64
+}
+
+type poolEntry struct {
+	id   int
+	data page
+}
+
+// NewBufferPool returns a pool caching at most capPages pages of src.
+func NewBufferPool(src io.ReaderAt, capPages int) *BufferPool {
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &BufferPool{
+		src:   src,
+		cap:   capPages,
+		pages: make(map[int]*list.Element, capPages),
+		lru:   list.New(),
+	}
+}
+
+// Get returns page id, reading it from the file on a miss. The returned
+// slice aliases pool memory: callers must not write to it and must not hold
+// it across operations that may evict (it is safe for the duration of one
+// tuple-at-a-time scan step, which is how the engine uses it).
+func (bp *BufferPool) Get(id int) (page, error) {
+	bp.mu.Lock()
+	if el, ok := bp.pages[id]; ok {
+		bp.lru.MoveToFront(el)
+		bp.hits++
+		p := el.Value.(*poolEntry).data
+		bp.mu.Unlock()
+		return p, nil
+	}
+	bp.misses++
+	bp.mu.Unlock()
+
+	// Read outside the lock; concurrent readers may duplicate work for the
+	// same page but correctness is unaffected.
+	buf := make(page, PageSize)
+	if _, err := bp.src.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("engine: buffer pool read page %d: %w", id, err)
+	}
+
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.pages[id]; ok { // raced with another reader
+		bp.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).data, nil
+	}
+	el := bp.lru.PushFront(&poolEntry{id: id, data: buf})
+	bp.pages[id] = el
+	for bp.lru.Len() > bp.cap {
+		back := bp.lru.Back()
+		bp.lru.Remove(back)
+		delete(bp.pages, back.Value.(*poolEntry).id)
+	}
+	return buf, nil
+}
+
+// Invalidate drops page id from the cache if present.
+func (bp *BufferPool) Invalidate(id int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.pages[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.pages, id)
+	}
+}
+
+// InvalidateAll empties the cache.
+func (bp *BufferPool) InvalidateAll() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.pages = make(map[int]*list.Element, bp.cap)
+	bp.lru.Init()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}

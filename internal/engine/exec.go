@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunUDA executes a user-defined aggregate over a table under an engine
+// profile: the standard aggregation query plan. With Segments == 1 the scan
+// is sequential; otherwise the engine's built-in shared-nothing parallelism
+// is used — each segment aggregates independently and the states are merged
+// left-to-right, which requires the UDA to implement Merger.
+func RunUDA(t *Table, u UDA, p Profile) (State, error) {
+	if p.Segments <= 1 {
+		s := u.Initialize()
+		err := t.Scan(func(tp Tuple) error {
+			spin(p.PerCallOverhead)
+			s = u.Transition(s, tp)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return u.Terminate(s), nil
+	}
+
+	m, ok := u.(Merger)
+	if !ok {
+		return nil, fmt.Errorf("engine: %d-segment plan requires a merge function", p.Segments)
+	}
+	if mc, ok := u.(interface{ CanMerge() bool }); ok && !mc.CanMerge() {
+		return nil, fmt.Errorf("engine: %d-segment plan requires a merge function", p.Segments)
+	}
+	segs, err := t.Segments(p.Segments)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]State, len(segs))
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i int, from, to int) {
+			defer wg.Done()
+			s := u.Initialize()
+			errs[i] = t.ScanPages(from, to, func(tp Tuple) error {
+				spin(p.PerCallOverhead)
+				s = u.Transition(s, tp)
+				return nil
+			})
+			states[i] = s
+		}(i, seg[0], seg[1])
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	s := states[0]
+	for _, s2 := range states[1:] {
+		if p.StateCopyPerMerge {
+			s = m.Merge(copyState(s), copyState(s2))
+		} else {
+			s = m.Merge(s, s2)
+		}
+	}
+	return u.Terminate(s), nil
+}
+
+// StateCopier lets a UDA state participate in the serialization overhead
+// emulation of DBMS A's pure-UDA plan.
+type StateCopier interface {
+	CopyState() State
+}
+
+func copyState(s State) State {
+	if c, ok := s.(StateCopier); ok {
+		return c.CopyState()
+	}
+	return s
+}
+
+// RunSharedScan drives the shared-memory UDA plan: `workers` goroutines
+// scan disjoint page segments concurrently and deliver tuples to fn. The
+// aggregation state lives in shared memory owned by the caller (the model),
+// which is exactly how the paper's shared-memory variant keeps the
+// three-function abstraction while updating one model concurrently; the
+// concurrency scheme (Lock / AIG / NoLock) is the caller's choice of model
+// representation.
+func RunSharedScan(t *Table, workers int, p Profile, fn func(worker int, tp Tuple) error) error {
+	if workers <= 1 {
+		return t.Scan(func(tp Tuple) error {
+			spin(p.PerCallOverhead)
+			return fn(0, tp)
+		})
+	}
+	segs, err := t.Segments(workers)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i, from, to int) {
+			defer wg.Done()
+			errs[i] = t.ScanPages(from, to, func(tp Tuple) error {
+				spin(p.PerCallOverhead)
+				return fn(i, tp)
+			})
+		}(i, seg[0], seg[1])
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// pageStore abstracts where pages live: in memory or in a file (read through
+// a buffer pool). Pages are append-only; rewrites replace the whole store
+// contents (that is how ClusterBy / Shuffle work, mirroring a table rewrite
+// in a real engine).
+type pageStore interface {
+	numPages() int
+	// readPage returns the contents of page i. The returned slice must be
+	// treated as read-only and is only valid until the next store call on
+	// the same goroutine's pool handle.
+	readPage(i int) (page, error)
+	appendPage(p page) error
+	// reset discards all pages.
+	reset() error
+	close() error
+}
+
+// memStore keeps pages in memory.
+type memStore struct {
+	pages []page
+}
+
+func (m *memStore) numPages() int { return len(m.pages) }
+
+func (m *memStore) readPage(i int) (page, error) {
+	if i < 0 || i >= len(m.pages) {
+		return nil, fmt.Errorf("engine: page %d out of range (%d pages)", i, len(m.pages))
+	}
+	return m.pages[i], nil
+}
+
+func (m *memStore) appendPage(p page) error {
+	cp := make(page, PageSize)
+	copy(cp, p)
+	m.pages = append(m.pages, cp)
+	return nil
+}
+
+func (m *memStore) reset() error {
+	m.pages = nil
+	return nil
+}
+
+func (m *memStore) close() error { return nil }
+
+// fileStore keeps pages in an OS file, read through a BufferPool.
+type fileStore struct {
+	f    *os.File
+	path string
+	n    int
+	pool *BufferPool
+}
+
+func newFileStore(path string, poolPages int) (*fileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s size %d not page aligned", path, st.Size())
+	}
+	fs := &fileStore{f: f, path: path, n: int(st.Size() / PageSize)}
+	fs.pool = NewBufferPool(fs.f, poolPages)
+	return fs, nil
+}
+
+func (fs *fileStore) numPages() int { return fs.n }
+
+func (fs *fileStore) readPage(i int) (page, error) {
+	if i < 0 || i >= fs.n {
+		return nil, fmt.Errorf("engine: page %d out of range (%d pages)", i, fs.n)
+	}
+	return fs.pool.Get(i)
+}
+
+func (fs *fileStore) appendPage(p page) error {
+	if _, err := fs.f.WriteAt(p, int64(fs.n)*PageSize); err != nil {
+		return err
+	}
+	fs.pool.Invalidate(fs.n)
+	fs.n++
+	return nil
+}
+
+func (fs *fileStore) reset() error {
+	if err := fs.f.Truncate(0); err != nil {
+		return err
+	}
+	fs.n = 0
+	fs.pool.InvalidateAll()
+	return nil
+}
+
+func (fs *fileStore) close() error { return fs.f.Close() }
+
+// Heap is an append-only heap file of variable-length records stored on
+// slotted pages, with overflow chains for records larger than a page.
+type Heap struct {
+	st   pageStore
+	cur  page // partially filled tail data page, nil if none
+	nrec int
+}
+
+// NewMemHeap returns a heap whose pages live in memory.
+func NewMemHeap() *Heap { return &Heap{st: &memStore{}} }
+
+// DefaultPoolPages is the default buffer pool capacity for file-backed
+// heaps: 1024 pages = 8 MB.
+const DefaultPoolPages = 1024
+
+// OpenFileHeap opens (or creates) a file-backed heap at path. Existing
+// records are counted so NumRecords is correct after reopen.
+func OpenFileHeap(path string, poolPages int) (*Heap, error) {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	fs, err := newFileStore(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{st: fs}
+	if fs.numPages() > 0 {
+		n := 0
+		if err := h.Scan(func([]byte) error { n++; return nil }); err != nil {
+			fs.close()
+			return nil, err
+		}
+		h.nrec = n
+	}
+	return h, nil
+}
+
+// NumRecords returns the number of records appended to the heap.
+func (h *Heap) NumRecords() int { return h.nrec }
+
+// NumPages returns the number of flushed pages (excluding the in-memory
+// tail page, if any).
+func (h *Heap) NumPages() int { return h.st.numPages() }
+
+// Append adds one record to the heap.
+func (h *Heap) Append(rec []byte) error {
+	if len(rec) > maxInlineRecord {
+		if err := h.flushCur(); err != nil {
+			return err
+		}
+		if err := h.appendOverflow(rec); err != nil {
+			return err
+		}
+		h.nrec++
+		return nil
+	}
+	if h.cur == nil {
+		h.cur = newPage(pageData)
+	}
+	if !h.cur.insert(rec) {
+		if err := h.flushCur(); err != nil {
+			return err
+		}
+		h.cur = newPage(pageData)
+		if !h.cur.insert(rec) {
+			return fmt.Errorf("engine: record of %d bytes does not fit in fresh page", len(rec))
+		}
+	}
+	h.nrec++
+	return nil
+}
+
+func (h *Heap) flushCur() error {
+	if h.cur == nil {
+		return nil
+	}
+	if err := h.st.appendPage(h.cur); err != nil {
+		return err
+	}
+	h.cur = nil
+	return nil
+}
+
+// Flush seals the in-memory tail page so all records live on flushed pages.
+// Parallel page-range scans require a flushed heap.
+func (h *Heap) Flush() error { return h.flushCur() }
+
+func (h *Heap) appendOverflow(rec []byte) error {
+	// First page: kind, then uint32 total length, then data.
+	first := newPage(pageOverflowStart)
+	binary.LittleEndian.PutUint32(first[pageHeaderSize:], uint32(len(rec)))
+	n := copy(first[pageHeaderSize+overflowHeaderSize:], rec)
+	if err := h.st.appendPage(first); err != nil {
+		return err
+	}
+	rec = rec[n:]
+	for len(rec) > 0 {
+		cont := newPage(pageOverflowCont)
+		n = copy(cont[pageHeaderSize:], rec)
+		if err := h.st.appendPage(cont); err != nil {
+			return err
+		}
+		rec = rec[n:]
+	}
+	return nil
+}
+
+// Scan visits every record in storage order. The record slice passed to fn
+// is only valid during the call.
+func (h *Heap) Scan(fn func(rec []byte) error) error {
+	return h.ScanPages(0, h.st.numPages(), fn)
+}
+
+// ScanPages visits the records whose storage begins in pages [from, to).
+// Overflow chains that start in the range are followed past `to`; overflow
+// continuation pages at the start of the range are skipped (they belong to
+// a chain owned by an earlier range). If to == NumPages, the in-memory tail
+// page is scanned as well.
+func (h *Heap) ScanPages(from, to int, fn func(rec []byte) error) error {
+	np := h.st.numPages()
+	if from < 0 || to > np || from > to {
+		return fmt.Errorf("engine: ScanPages range [%d,%d) out of [0,%d]", from, to, np)
+	}
+	for i := from; i < to; i++ {
+		p, err := h.st.readPage(i)
+		if err != nil {
+			return err
+		}
+		switch p.kind() {
+		case pageData:
+			for s := 0; s < p.slotCount(); s++ {
+				rec, err := p.record(s)
+				if err != nil {
+					return err
+				}
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+		case pageOverflowStart:
+			total := int(binary.LittleEndian.Uint32(p[pageHeaderSize:]))
+			rec := make([]byte, 0, total)
+			take := total
+			if m := PageSize - pageHeaderSize - overflowHeaderSize; take > m {
+				take = m
+			}
+			rec = append(rec, p[pageHeaderSize+overflowHeaderSize:pageHeaderSize+overflowHeaderSize+take]...)
+			j := i + 1
+			for len(rec) < total {
+				if j >= np {
+					return fmt.Errorf("engine: truncated overflow chain at page %d", i)
+				}
+				cp, err := h.st.readPage(j)
+				if err != nil {
+					return err
+				}
+				if cp.kind() != pageOverflowCont {
+					return fmt.Errorf("engine: broken overflow chain at page %d", j)
+				}
+				take = total - len(rec)
+				if m := PageSize - pageHeaderSize; take > m {
+					take = m
+				}
+				rec = append(rec, cp[pageHeaderSize:pageHeaderSize+take]...)
+				j++
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			// Pages i+1..j-1 were consumed as part of this chain; skip them
+			// when they fall inside our range.
+			if j-1 > i {
+				i = j - 1
+				if i >= to {
+					// Chain extended past our range; remaining cont pages
+					// belong to us, nothing more to do in range.
+					i = to - 1
+				}
+			}
+		case pageOverflowCont:
+			// Owned by a chain that started before `from`; skip.
+		default:
+			return fmt.Errorf("engine: unknown page kind %d at page %d", p.kind(), i)
+		}
+	}
+	if to == np && h.cur != nil {
+		for s := 0; s < h.cur.slotCount(); s++ {
+			rec, err := h.cur.record(s)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rewrite replaces the heap contents with the given records, in order.
+func (h *Heap) Rewrite(records [][]byte) error {
+	if err := h.st.reset(); err != nil {
+		return err
+	}
+	h.cur = nil
+	h.nrec = 0
+	for _, r := range records {
+		if err := h.Append(r); err != nil {
+			return err
+		}
+	}
+	return h.Flush()
+}
+
+// materialize reads every record into memory (used by reordering ops).
+func (h *Heap) materialize() ([][]byte, error) {
+	recs := make([][]byte, 0, h.nrec)
+	err := h.Scan(func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	return recs, err
+}
+
+// Shuffle randomly permutes the heap's records — the engine-level
+// implementation of ORDER BY RANDOM() from §3.1 of the paper. It is a full
+// table rewrite, which is exactly why shuffle-always is expensive.
+func (h *Heap) Shuffle(rng *rand.Rand) error {
+	recs, err := h.materialize()
+	if err != nil {
+		return err
+	}
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	return h.Rewrite(recs)
+}
+
+// Close releases the underlying store.
+func (h *Heap) Close() error {
+	if err := h.flushCur(); err != nil {
+		return err
+	}
+	return h.st.close()
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// catalogMeta is the on-disk description of a file catalog: table names and
+// schemas. The heap files themselves live next to it as <name>.heap.
+type catalogMeta struct {
+	Tables []tableMeta `json:"tables"`
+}
+
+type tableMeta struct {
+	Name    string       `json:"name"`
+	Columns []columnMeta `json:"columns"`
+}
+
+type columnMeta struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+const catalogFile = "catalog.json"
+
+// Save writes the catalog's table metadata to dir/catalog.json and flushes
+// every table. Only meaningful for file catalogs.
+func (c *Catalog) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return fmt.Errorf("engine: Save requires a file catalog")
+	}
+	var meta catalogMeta
+	for _, t := range c.tables {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+		tm := tableMeta{Name: t.Name}
+		for _, col := range t.Schema {
+			tm.Columns = append(tm.Columns, columnMeta{Name: col.Name, Type: uint8(col.Type)})
+		}
+		meta.Tables = append(meta.Tables, tm)
+	}
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(c.dir, catalogFile), b, 0o644)
+}
+
+// OpenFileCatalog loads a catalog previously written with Save, reopening
+// every table's heap file. A missing catalog.json yields an empty catalog.
+func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
+	c := NewFileCatalog(dir, poolPages)
+	b, err := os.ReadFile(filepath.Join(dir, catalogFile))
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var meta catalogMeta
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return nil, fmt.Errorf("engine: corrupt catalog.json: %w", err)
+	}
+	for _, tm := range meta.Tables {
+		schema := make(Schema, 0, len(tm.Columns))
+		for _, cm := range tm.Columns {
+			schema = append(schema, Column{Name: cm.Name, Type: Type(cm.Type)})
+		}
+		if _, err := c.Create(tm.Name, schema); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+
+	"bismarck/internal/vector"
+)
+
+func TestFileCatalogSaveAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewFileCatalog(dir, 4)
+	schema := Schema{{Name: "id", Type: TInt64}, {Name: "v", Type: TDenseVec}}
+	tbl, err := cat.Create("things", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		tbl.MustInsert(Tuple{I64(int64(i)), DenseV(vector.Dense{float64(i)})})
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat2, err := OpenFileCatalog(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	tbl2, err := cat2.Get("things")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NumRows() != 25 {
+		t.Fatalf("reopened rows = %d", tbl2.NumRows())
+	}
+	if len(tbl2.Schema) != 2 || tbl2.Schema[1].Type != TDenseVec {
+		t.Fatalf("schema lost: %+v", tbl2.Schema)
+	}
+	// Data intact.
+	sum := 0.0
+	tbl2.Scan(func(tp Tuple) error {
+		sum += tp[1].Dense[0]
+		return nil
+	})
+	if sum != 300 { // 0+1+...+24
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestOpenFileCatalogEmptyDir(t *testing.T) {
+	cat, err := OpenFileCatalog(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if len(cat.Names()) != 0 {
+		t.Fatal("expected empty catalog")
+	}
+}
+
+func TestSaveRequiresFileCatalog(t *testing.T) {
+	if err := NewCatalog().Save(); err == nil {
+		t.Fatal("Save on mem catalog should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in a heap file, matching the
+// 8 KB default of PostgreSQL.
+const PageSize = 8192
+
+// Page kinds. Data pages hold slotted records; records larger than a page
+// are stored on an overflow chain: one overflowStart page followed by zero
+// or more overflowCont pages.
+const (
+	pageData uint8 = iota + 1
+	pageOverflowStart
+	pageOverflowCont
+)
+
+// Page header layout (8 bytes):
+//
+//	[0]    kind
+//	[1]    reserved
+//	[2:4]  slotCount  (data pages)
+//	[4:6]  freeLow    (first byte after the slot directory)
+//	[6:8]  freeHigh   (first byte of the record area)
+//
+// The slot directory grows forward from byte 8; each entry is 4 bytes
+// (offset uint16, length uint16). Records grow backward from the page end.
+const (
+	pageHeaderSize = 8
+	slotEntrySize  = 4
+)
+
+// maxInlineRecord is the largest record that fits in a single data page.
+const maxInlineRecord = PageSize - pageHeaderSize - slotEntrySize
+
+// overflowHeaderSize is the payload header of an overflowStart page:
+// a uint32 total record length.
+const overflowHeaderSize = 4
+
+type page []byte
+
+func newPage(kind uint8) page {
+	p := page(make([]byte, PageSize))
+	p[0] = kind
+	if kind == pageData {
+		p.setSlotCount(0)
+		p.setFreeLow(pageHeaderSize)
+		p.setFreeHigh(PageSize)
+	}
+	return p
+}
+
+func (p page) kind() uint8 { return p[0] }
+
+func (p page) slotCount() int     { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func (p page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+func (p page) freeLow() int       { return int(binary.LittleEndian.Uint16(p[4:6])) }
+func (p page) setFreeLow(v int)   { binary.LittleEndian.PutUint16(p[4:6], uint16(v)) }
+func (p page) setFreeHigh(v int) {
+	// PageSize itself does not fit in a uint16, so freeHigh is stored as
+	// PageSize-v; 0 therefore means "record area empty, starts at end".
+	binary.LittleEndian.PutUint16(p[6:8], uint16(PageSize-v))
+}
+
+func (p page) getFreeHigh() int { return PageSize - int(binary.LittleEndian.Uint16(p[6:8])) }
+
+// freeSpace returns the bytes available for one more record plus its slot.
+func (p page) freeSpace() int { return p.getFreeHigh() - p.freeLow() }
+
+// insert places rec into the page, returning false if it does not fit.
+func (p page) insert(rec []byte) bool {
+	need := len(rec) + slotEntrySize
+	if p.freeSpace() < need {
+		return false
+	}
+	off := p.getFreeHigh() - len(rec)
+	copy(p[off:], rec)
+	n := p.slotCount()
+	slotPos := pageHeaderSize + n*slotEntrySize
+	binary.LittleEndian.PutUint16(p[slotPos:], uint16(off))
+	binary.LittleEndian.PutUint16(p[slotPos+2:], uint16(len(rec)))
+	p.setSlotCount(n + 1)
+	p.setFreeLow(slotPos + slotEntrySize)
+	p.setFreeHigh(off)
+	return true
+}
+
+// record returns the bytes of slot i (aliasing the page buffer).
+func (p page) record(i int) ([]byte, error) {
+	if i < 0 || i >= p.slotCount() {
+		return nil, fmt.Errorf("engine: page record %d out of range (%d slots)", i, p.slotCount())
+	}
+	slotPos := pageHeaderSize + i*slotEntrySize
+	off := int(binary.LittleEndian.Uint16(p[slotPos:]))
+	ln := int(binary.LittleEndian.Uint16(p[slotPos+2:]))
+	if off+ln > PageSize || off < pageHeaderSize {
+		return nil, fmt.Errorf("engine: corrupt slot %d (off=%d len=%d)", i, off, ln)
+	}
+	return p[off : off+ln], nil
+}

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SharedMemory mimics the RDBMS shared-memory facility the paper relies on
+// ("Shared Memory and LWLocks in PostgreSQL"): named float64 regions that a
+// UDA allocates once and that all workers attach to. Within our single
+// process this is a registry of slices, but going through it keeps the
+// Bismarck trainers written against the same allocate/attach/free API a
+// real extension would use.
+type SharedMemory struct {
+	mu      sync.Mutex
+	regions map[string][]float64
+}
+
+// NewSharedMemory returns an empty shared-memory manager.
+func NewSharedMemory() *SharedMemory {
+	return &SharedMemory{regions: make(map[string][]float64)}
+}
+
+// Allocate creates a zeroed region of `size` float64s under name. It fails
+// if the name is taken.
+func (m *SharedMemory) Allocate(name string, size int) ([]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[name]; ok {
+		return nil, fmt.Errorf("engine: shared region %q already allocated", name)
+	}
+	r := make([]float64, size)
+	m.regions[name] = r
+	return r, nil
+}
+
+// Attach returns an existing region.
+func (m *SharedMemory) Attach(name string) ([]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no shared region %q", name)
+	}
+	return r, nil
+}
+
+// Free releases a region.
+func (m *SharedMemory) Free(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[name]; !ok {
+		return fmt.Errorf("engine: no shared region %q", name)
+	}
+	delete(m.regions, name)
+	return nil
+}
+
+// Names returns how many regions are allocated (for tests/diagnostics).
+func (m *SharedMemory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.regions)
+}

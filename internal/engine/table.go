@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Table is a named, typed heap of tuples.
+type Table struct {
+	Name   string
+	Schema Schema
+	heap   *Heap
+}
+
+// NewMemTable creates an in-memory table.
+func NewMemTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, heap: NewMemHeap()}
+}
+
+// newFileTable creates/opens a file-backed table under dir.
+func newFileTable(dir, name string, schema Schema, poolPages int) (*Table, error) {
+	h, err := OpenFileHeap(filepath.Join(dir, name+".heap"), poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Name: name, Schema: schema, heap: h}, nil
+}
+
+// Insert appends one tuple, validating it against the schema.
+func (t *Table) Insert(tp Tuple) error {
+	if !tp.Matches(t.Schema) {
+		return fmt.Errorf("engine: tuple does not match schema of %s", t.Name)
+	}
+	return t.heap.Append(tp.Encode())
+}
+
+// MustInsert inserts and panics on error; convenient for generators.
+func (t *Table) MustInsert(tp Tuple) {
+	if err := t.Insert(tp); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.heap.NumRecords() }
+
+// NumPages returns the flushed page count.
+func (t *Table) NumPages() int { return t.heap.NumPages() }
+
+// Flush seals the in-memory tail page (required before parallel scans).
+func (t *Table) Flush() error { return t.heap.Flush() }
+
+// Scan visits every tuple in storage order.
+func (t *Table) Scan(fn func(Tuple) error) error {
+	return t.heap.Scan(func(rec []byte) error {
+		tp, err := DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		return fn(tp)
+	})
+}
+
+// ScanPages visits tuples stored in pages [from, to) — the unit of
+// shared-nothing segmentation.
+func (t *Table) ScanPages(from, to int, fn func(Tuple) error) error {
+	return t.heap.ScanPages(from, to, func(rec []byte) error {
+		tp, err := DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		return fn(tp)
+	})
+}
+
+// Segments splits the table's pages into n contiguous ranges of roughly
+// equal page count for parallel scanning. It flushes the tail page first.
+func (t *Table) Segments(n int) ([][2]int, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := t.heap.Flush(); err != nil {
+		return nil, err
+	}
+	np := t.heap.NumPages()
+	if np == 0 {
+		return [][2]int{{0, 0}}, nil
+	}
+	if n > np {
+		n = np
+	}
+	segs := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		from := i * np / n
+		to := (i + 1) * np / n
+		segs = append(segs, [2]int{from, to})
+	}
+	return segs, nil
+}
+
+// Shuffle randomly permutes the table rows on disk the way ORDER BY
+// RANDOM() does: every row is decoded, tagged with a random sort key,
+// sorted, re-encoded and written back as a full table rewrite. This is
+// deliberately NOT a cheap in-place permutation — the cost of this operator
+// is exactly the shuffle overhead §3.2 measures (it dominates the gradient
+// work for simple tasks).
+func (t *Table) Shuffle(rng *rand.Rand) error {
+	type keyed struct {
+		k  float64
+		tp Tuple
+	}
+	var rows []keyed
+	err := t.heap.Scan(func(rec []byte) error {
+		tp, err := DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, keyed{k: rng.Float64(), tp: tp})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	out := make([][]byte, len(rows))
+	for i := range rows {
+		out[i] = rows[i].tp.Encode()
+	}
+	return t.heap.Rewrite(out)
+}
+
+// ClusterBy physically rewrites the table ordered by the given key — the
+// engine operation that produces the paper's pathological "clustered"
+// layouts (e.g., all positive labels before all negatives).
+func (t *Table) ClusterBy(key func(Tuple) float64) error {
+	type rec struct {
+		k float64
+		b []byte
+	}
+	var recs []rec
+	err := t.heap.Scan(func(b []byte) error {
+		tp, err := DecodeTuple(b)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec{k: key(tp), b: append([]byte(nil), b...)})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].k < recs[j].k })
+	out := make([][]byte, len(recs))
+	for i := range recs {
+		out[i] = recs[i].b
+	}
+	return t.heap.Rewrite(out)
+}
+
+// CopyTo appends every row of t into dst (schemas must match).
+func (t *Table) CopyTo(dst *Table) error {
+	if len(t.Schema) != len(dst.Schema) {
+		return fmt.Errorf("engine: CopyTo schema arity mismatch")
+	}
+	return t.heap.Scan(func(rec []byte) error {
+		return dst.heap.Append(append([]byte(nil), rec...))
+	})
+}
+
+// Close releases the table's heap.
+func (t *Table) Close() error { return t.heap.Close() }
+
+// Catalog is a registry of tables, optionally file-backed under a directory.
+type Catalog struct {
+	mu        sync.Mutex
+	dir       string // empty = in-memory tables
+	poolPages int
+	tables    map[string]*Table
+}
+
+// NewCatalog returns an in-memory catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// NewFileCatalog returns a catalog whose tables are file-backed under dir.
+func NewFileCatalog(dir string, poolPages int) *Catalog {
+	return &Catalog{dir: dir, poolPages: poolPages, tables: make(map[string]*Table)}
+}
+
+// Create makes a new table, failing if the name exists.
+func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	var t *Table
+	var err error
+	if c.dir == "" {
+		t = NewMemTable(name, schema)
+	} else {
+		t, err = newFileTable(c.dir, name, schema, c.poolPages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Get looks a table up by name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes and closes a table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("engine: no table %q", name)
+	}
+	delete(c.tables, name)
+	return t.Close()
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes every table.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, t := range c.tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.tables = make(map[string]*Table)
+	return first
+}

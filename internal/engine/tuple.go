@@ -1,0 +1,271 @@
+// Package engine is the RDBMS substrate that Bismarck runs on. It provides
+// what the paper relies on from PostgreSQL and the two commercial engines:
+//
+//   - on-disk heap files made of slotted pages, with a buffer pool
+//   - a catalog of typed tables and tuple-at-a-time sequential scans
+//   - the standard user-defined aggregate (UDA) contract
+//     (initialize / transition / merge / terminate) and executors for it:
+//     sequential, shared-nothing segmented (pure UDA), and shared-memory
+//   - physical reordering operators: ClusterBy and Shuffle
+//     (the ORDER BY RANDOM() construct from §3.1)
+//   - engine profiles that emulate the per-call overhead characteristics of
+//     the three engines in the paper's Tables 2 and 3
+//
+// The engine is deliberately scan-oriented: Bismarck's whole premise is that
+// IGD's data access pattern is that of an SQL aggregation query.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"bismarck/internal/vector"
+)
+
+// Type enumerates the column types the engine can store.
+type Type uint8
+
+// Column types.
+const (
+	TInt64 Type = iota + 1
+	TFloat64
+	TString
+	TDenseVec  // vector.Dense
+	TSparseVec // vector.Sparse
+	TInt32Vec  // []int32, used for label sequences
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TFloat64:
+		return "float64"
+	case TString:
+		return "string"
+	case TDenseVec:
+		return "densevec"
+	case TSparseVec:
+		return "sparsevec"
+	case TInt32Vec:
+		return "int32vec"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is a single typed cell. Exactly the field matching Type is valid.
+type Value struct {
+	Type   Type
+	Int    int64
+	Float  float64
+	Str    string
+	Dense  vector.Dense
+	Sparse vector.Sparse
+	Ints   []int32
+}
+
+// I64 wraps an int64 as a Value.
+func I64(v int64) Value { return Value{Type: TInt64, Int: v} }
+
+// F64 wraps a float64 as a Value.
+func F64(v float64) Value { return Value{Type: TFloat64, Float: v} }
+
+// Str wraps a string as a Value.
+func Str(v string) Value { return Value{Type: TString, Str: v} }
+
+// DenseV wraps a dense vector as a Value.
+func DenseV(v vector.Dense) Value { return Value{Type: TDenseVec, Dense: v} }
+
+// SparseV wraps a sparse vector as a Value.
+func SparseV(v vector.Sparse) Value { return Value{Type: TSparseVec, Sparse: v} }
+
+// IntsV wraps an []int32 as a Value.
+func IntsV(v []int32) Value { return Value{Type: TInt32Vec, Ints: v} }
+
+// Tuple is one row: values positionally matching the table schema.
+type Tuple []Value
+
+// encodedSize returns the number of bytes Encode will produce for t.
+func (t Tuple) encodedSize() int {
+	n := 0
+	for _, v := range t {
+		n++ // type tag
+		switch v.Type {
+		case TInt64, TFloat64:
+			n += 8
+		case TString:
+			n += 4 + len(v.Str)
+		case TDenseVec:
+			n += 4 + 8*len(v.Dense)
+		case TSparseVec:
+			n += 4 + 12*len(v.Sparse.Idx)
+		case TInt32Vec:
+			n += 4 + 4*len(v.Ints)
+		default:
+			panic(fmt.Sprintf("engine: encodedSize: bad type %v", v.Type))
+		}
+	}
+	return n
+}
+
+// Encode serialises the tuple into a compact binary record.
+func (t Tuple) Encode() []byte {
+	buf := make([]byte, 0, t.encodedSize())
+	for _, v := range t {
+		buf = append(buf, byte(v.Type))
+		switch v.Type {
+		case TInt64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int))
+		case TFloat64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+		case TString:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TDenseVec:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Dense)))
+			for _, f := range v.Dense {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		case TSparseVec:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Sparse.Idx)))
+			for _, ix := range v.Sparse.Idx {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(ix))
+			}
+			for _, f := range v.Sparse.Val {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		case TInt32Vec:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Ints)))
+			for _, ix := range v.Ints {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(ix))
+			}
+		default:
+			panic(fmt.Sprintf("engine: Encode: bad type %v", v.Type))
+		}
+	}
+	return buf
+}
+
+// DecodeTuple parses a record produced by Encode. It returns an error rather
+// than panicking so corrupt pages surface cleanly.
+func DecodeTuple(buf []byte) (Tuple, error) {
+	var t Tuple
+	for len(buf) > 0 {
+		ty := Type(buf[0])
+		buf = buf[1:]
+		var v Value
+		v.Type = ty
+		switch ty {
+		case TInt64:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("engine: decode: short int64")
+			}
+			v.Int = int64(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case TFloat64:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("engine: decode: short float64")
+			}
+			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case TString:
+			n, rest, err := readLen(buf)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) < n {
+				return nil, fmt.Errorf("engine: decode: short string")
+			}
+			v.Str = string(rest[:n])
+			buf = rest[n:]
+		case TDenseVec:
+			n, rest, err := readLen(buf)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) < 8*n {
+				return nil, fmt.Errorf("engine: decode: short dense vec")
+			}
+			v.Dense = make(vector.Dense, n)
+			for i := 0; i < n; i++ {
+				v.Dense[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+			}
+			buf = rest[8*n:]
+		case TSparseVec:
+			n, rest, err := readLen(buf)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) < 12*n {
+				return nil, fmt.Errorf("engine: decode: short sparse vec")
+			}
+			v.Sparse.Idx = make([]int32, n)
+			v.Sparse.Val = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v.Sparse.Idx[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+			}
+			rest = rest[4*n:]
+			for i := 0; i < n; i++ {
+				v.Sparse.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+			}
+			buf = rest[8*n:]
+		case TInt32Vec:
+			n, rest, err := readLen(buf)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) < 4*n {
+				return nil, fmt.Errorf("engine: decode: short int32 vec")
+			}
+			v.Ints = make([]int32, n)
+			for i := 0; i < n; i++ {
+				v.Ints[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+			}
+			buf = rest[4*n:]
+		default:
+			return nil, fmt.Errorf("engine: decode: unknown type tag %d", ty)
+		}
+		t = append(t, v)
+	}
+	return t, nil
+}
+
+func readLen(buf []byte) (int, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("engine: decode: short length prefix")
+	}
+	return int(binary.LittleEndian.Uint32(buf)), buf[4:], nil
+}
+
+// Matches reports whether the tuple's value types match the schema.
+func (t Tuple) Matches(s Schema) bool {
+	if len(t) != len(s) {
+		return false
+	}
+	for i, v := range t {
+		if v.Type != s[i].Type {
+			return false
+		}
+	}
+	return true
+}

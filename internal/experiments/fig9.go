@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"bismarck/internal/core"
+	"bismarck/internal/data"
+	"bismarck/internal/ordering"
+	"bismarck/internal/parallel"
+	"bismarck/internal/tasks"
+)
+
+// RunFig9A reproduces Figure 9(A): objective vs epoch for the four
+// parallelization schemes (CRF on CoNLL, cfg.Workers threads). Expected
+// shape: Lock ≈ AIG ≈ NoLock, all better per epoch than the pure-UDA model
+// averaging.
+func RunFig9A(w io.Writer, cfg Config) error {
+	const epochs = 12
+	task := tasks.NewCRF(8000, 9)
+	tbl := data.CoNLL(cfg.scale(900), 8000, 9, 12, cfg.Seed+3)
+	ord := ordering.ShuffleOnce{}
+
+	var series []Series
+	finals := map[string]float64{}
+	for _, mode := range []parallel.Mode{parallel.PureUDA, parallel.Lock, parallel.AIG, parallel.NoLock} {
+		tr := &parallel.Trainer{Task: task, Step: core.GeometricStep{A0: 0.1, Rho: 0.9},
+			MaxEpochs: epochs, Workers: cfg.workers(), Mode: mode, Seed: cfg.Seed, Order: ord}
+		res, err := tr.Run(tbl)
+		if err != nil {
+			return err
+		}
+		s := Series{Name: mode.String()}
+		for i, l := range res.Losses {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, l)
+		}
+		series = append(series, s)
+		finals[mode.String()] = res.FinalLoss()
+	}
+	PrintSeries(w, fmt.Sprintf("Figure 9A: objective vs epoch, CRF on CoNLL-like (%d threads)", cfg.workers()),
+		"epoch", series...)
+	if finals["PureUDA"] <= finals["NoLock"] {
+		fmt.Fprintln(w, "note: WARNING expected PureUDA (model averaging) to trail NoLock per epoch")
+	}
+	return nil
+}
+
+// RunFig9B reproduces Figure 9(B): speed-up of the per-epoch gradient
+// computation against the number of threads, for all four schemes.
+// Expected shape: NoLock and AIG near-linear (NoLock highest), pure UDA
+// sub-linear, Lock flat at ~1.
+func RunFig9B(w io.Writer, cfg Config) error {
+	task := tasks.NewCRF(8000, 9)
+	tbl := data.CoNLL(cfg.scale(900), 8000, 9, 12, cfg.Seed+3)
+	if err := tbl.Flush(); err != nil {
+		return err
+	}
+
+	maxWorkers := cfg.workers()
+	threadCounts := []int{1, 2, 4}
+	if maxWorkers >= 8 {
+		threadCounts = append(threadCounts, 8)
+	}
+	epochTime := func(mode parallel.Mode, workers int) (time.Duration, error) {
+		tr := &parallel.Trainer{Task: task, Step: core.ConstantStep{A: 0.05},
+			MaxEpochs: 3, Workers: workers, Mode: mode, Seed: cfg.Seed, SkipLoss: true}
+		res, err := tr.Run(tbl)
+		if err != nil {
+			return 0, err
+		}
+		best := res.EpochTimes[0]
+		for _, d := range res.EpochTimes[1:] {
+			if d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	var series []Series
+	var base1 = map[string]time.Duration{}
+	for _, mode := range []parallel.Mode{parallel.PureUDA, parallel.Lock, parallel.AIG, parallel.NoLock} {
+		s := Series{Name: mode.String()}
+		for _, n := range threadCounts {
+			d, err := epochTime(mode, n)
+			if err != nil {
+				return err
+			}
+			if n == 1 {
+				base1[mode.String()] = d
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(base1[mode.String()])/float64(d))
+		}
+		series = append(series, s)
+	}
+	PrintSeries(w, "Figure 9B: per-epoch speed-up vs threads (CRF gradient computation)", "threads", series...)
+	fmt.Fprintln(w, "note: paper shape: NoLock/AIG near-linear, PureUDA sub-linear, Lock ~1.")
+	if ncpu := runtime.GOMAXPROCS(0); ncpu < maxWorkers {
+		fmt.Fprintf(w, "note: HOST LIMIT: only %d usable CPU(s); speed-ups are bounded by the hardware, not the schemes.\n", ncpu)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"time"
+
+	"bismarck/internal/engine"
+)
+
+// engineTable aliases the engine table type for experiment helpers.
+type engineTable = engine.Table
+
+// timeToTarget returns "Xs (N)" — cumulative training time and pass count
+// until the loss first reaches target — or "-" if it never does. The
+// per-epoch times must exclude loss-evaluation overhead so the comparison
+// measures training work.
+func timeToTarget(losses []float64, times []time.Duration, target float64) string {
+	var cum time.Duration
+	for i, l := range losses {
+		if i < len(times) {
+			cum += times[i]
+		}
+		if l <= target {
+			return secs(cum) + " (" + itoa(i+1) + ")"
+		}
+	}
+	return "-"
+}

@@ -1,0 +1,123 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+func labelTable(t *testing.T, n int) *engine.Table {
+	t.Helper()
+	schema := engine.Schema{{Name: "id", Type: engine.TInt64}, {Name: "vec", Type: engine.TDenseVec}, {Name: "label", Type: engine.TFloat64}}
+	tbl := engine.NewMemTable("t", schema)
+	for i := 0; i < n; i++ {
+		lbl := float64(1)
+		if i >= n/2 {
+			lbl = -1
+		}
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.DenseV(vector.Dense{1}), engine.F64(lbl)})
+	}
+	return tbl
+}
+
+func readIDs(t *testing.T, tbl *engine.Table) []int64 {
+	t.Helper()
+	var ids []int64
+	if err := tbl.Scan(func(tp engine.Tuple) error {
+		ids = append(ids, tp[0].Int)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func isIdentity(ids []int64) bool {
+	for i, id := range ids {
+		if id != int64(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusteredNeverTouchesTable(t *testing.T) {
+	tbl := labelTable(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	for e := 0; e < 3; e++ {
+		if err := (Clustered{}).Prepare(tbl, e, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !isIdentity(readIDs(t, tbl)) {
+		t.Fatal("Clustered changed the storage order")
+	}
+}
+
+func TestShuffleOnceOnlyFirstEpoch(t *testing.T) {
+	tbl := labelTable(t, 200)
+	rng := rand.New(rand.NewSource(2))
+	if err := (ShuffleOnce{}).Prepare(tbl, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	after0 := readIDs(t, tbl)
+	if isIdentity(after0) {
+		t.Fatal("epoch-0 Prepare did not shuffle")
+	}
+	for e := 1; e < 4; e++ {
+		if err := (ShuffleOnce{}).Prepare(tbl, e, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := readIDs(t, tbl)
+	for i := range after0 {
+		if after[i] != after0[i] {
+			t.Fatal("ShuffleOnce reshuffled after epoch 0")
+		}
+	}
+}
+
+func TestShuffleAlwaysReshufflesEveryEpoch(t *testing.T) {
+	tbl := labelTable(t, 200)
+	rng := rand.New(rand.NewSource(3))
+	prev := readIDs(t, tbl)
+	changed := 0
+	for e := 0; e < 3; e++ {
+		if err := (ShuffleAlways{}).Prepare(tbl, e, rng); err != nil {
+			t.Fatal(err)
+		}
+		cur := readIDs(t, tbl)
+		same := true
+		for i := range cur {
+			if cur[i] != prev[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			changed++
+		}
+		prev = cur
+	}
+	if changed != 3 {
+		t.Fatalf("only %d/3 epochs reshuffled", changed)
+	}
+}
+
+func TestAllListsThreeStrategies(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() = %d strategies", len(all))
+	}
+	names := map[string]bool{}
+	for _, s := range all {
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"ShuffleAlways", "ShuffleOnce", "Clustered"} {
+		if !names[want] {
+			t.Fatalf("missing strategy %s", want)
+		}
+	}
+}

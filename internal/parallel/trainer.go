@@ -1,0 +1,212 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Mode selects the parallelization scheme of §3.3.
+type Mode int
+
+// Parallelization schemes.
+const (
+	// PureUDA is the shared-nothing plan: per-segment models merged by
+	// averaging through the engine's standard parallel-aggregate machinery.
+	PureUDA Mode = iota
+	// Lock is shared memory with a global mutex held for every gradient
+	// step; it serializes the workers and shows no speed-up.
+	Lock
+	// AIG is the Atomic Incremental Gradient scheme: per-component
+	// compare-and-exchange updates, no lost writes.
+	AIG
+	// NoLock is Hogwild!: unsynchronized concurrent updates, lost writes
+	// tolerated. The paper's choice for Bismarck.
+	NoLock
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case PureUDA:
+		return "PureUDA"
+	case Lock:
+		return "Lock"
+	case AIG:
+		return "AIG"
+	case NoLock:
+		return "NoLock"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Modes lists all four schemes in Figure 9's order.
+func Modes() []Mode { return []Mode{PureUDA, NoLock, Lock, AIG} }
+
+// Trainer runs the Bismarck epoch loop with a parallel IGD aggregate.
+type Trainer struct {
+	Task      core.Task
+	Step      core.StepRule
+	MaxEpochs int
+	Workers   int
+	Mode      Mode
+	// RelTol / TargetLoss mirror core.Trainer.
+	RelTol     float64
+	TargetLoss float64
+	Order      core.OrderStrategy
+	Profile    engine.Profile // per-call overhead emulation; Segments is ignored (Workers wins)
+	Seed       int64
+	InitModel  vector.Dense
+	SkipLoss   bool
+	// Deadline mirrors core.Trainer.Deadline.
+	Deadline time.Time
+	// Shm, when set, allocates the model in the engine's shared-memory
+	// facility under the region name "bismarck.model" (mirroring how the
+	// real implementation hosts the model in RDBMS shared memory).
+	Shm *engine.SharedMemory
+}
+
+// Run trains the task and reports the result.
+func (tr *Trainer) Run(tbl *engine.Table) (*core.Result, error) {
+	if tr.MaxEpochs <= 0 {
+		return nil, fmt.Errorf("parallel: MaxEpochs must be > 0")
+	}
+	if tr.Step == nil {
+		return nil, fmt.Errorf("parallel: Step is required")
+	}
+	workers := tr.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	if tr.Mode == PureUDA {
+		// The engine's built-in segmented aggregation plan already is the
+		// pure-UDA scheme; reuse the sequential trainer with a segmented
+		// profile.
+		p := tr.Profile
+		p.Segments = workers
+		ct := &core.Trainer{
+			Task: tr.Task, Step: tr.Step, MaxEpochs: tr.MaxEpochs,
+			RelTol: tr.RelTol, TargetLoss: tr.TargetLoss, Order: tr.Order,
+			Profile: p, Seed: tr.Seed, InitModel: tr.InitModel, SkipLoss: tr.SkipLoss,
+			Deadline: tr.Deadline,
+		}
+		return ct.Run(tbl)
+	}
+
+	rng := rand.New(rand.NewSource(tr.Seed))
+	w0 := tr.InitModel
+	if w0 == nil {
+		w0 = core.InitialModel(tr.Task, tr.Seed)
+	} else {
+		w0 = w0.Clone()
+	}
+	order := tr.Order
+	if order == nil {
+		order = core.NoOrder{}
+	}
+
+	var shmRegion []float64
+	if tr.Shm != nil {
+		r, err := tr.Shm.Allocate("bismarck.model", tr.Task.Dim())
+		if err != nil {
+			return nil, err
+		}
+		shmRegion = r
+		defer tr.Shm.Free("bismarck.model")
+	}
+
+	// Build the shared model once; it persists across epochs.
+	var model core.Model
+	var lockedStep func(tp engine.Tuple, alpha float64)
+	switch tr.Mode {
+	case Lock:
+		dm := &core.DenseModel{W: w0.Clone()}
+		if shmRegion != nil {
+			copy(shmRegion, w0)
+			dm.W = shmRegion
+		}
+		var mu sync.Mutex
+		model = dm
+		lockedStep = func(tp engine.Tuple, alpha float64) {
+			mu.Lock()
+			tr.Task.Step(dm, tp, alpha)
+			mu.Unlock()
+		}
+	case AIG, NoLock:
+		am := NewAtomicModel(tr.Task.Dim(), tr.Mode == AIG)
+		am.SetFrom(w0)
+		model = am
+	default:
+		return nil, fmt.Errorf("parallel: unknown mode %v", tr.Mode)
+	}
+
+	res := &core.Result{}
+	start := time.Now()
+	prevLoss := math.NaN()
+	for e := 0; e < tr.MaxEpochs; e++ {
+		if !tr.Deadline.IsZero() && time.Now().After(tr.Deadline) {
+			res.Model = model.Snapshot()
+			res.Total = time.Since(start)
+			return res, core.ErrDeadline
+		}
+		epochStart := time.Now()
+		if err := order.Prepare(tbl, e, rng); err != nil {
+			return nil, err
+		}
+		alpha := tr.Step.Alpha(e)
+		var err error
+		if tr.Mode == Lock {
+			err = engine.RunSharedScan(tbl, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
+				lockedStep(tp, alpha)
+				return nil
+			})
+		} else {
+			err = engine.RunSharedScan(tbl, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
+				tr.Task.Step(model, tp, alpha)
+				return nil
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Epochs = e + 1
+		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+
+		if !tr.SkipLoss {
+			w := model.Snapshot()
+			if shmRegion != nil {
+				copy(shmRegion, w)
+			}
+			loss, err := core.TotalLoss(tr.Task, w, tbl)
+			if err != nil {
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+			if tr.TargetLoss != 0 && loss <= tr.TargetLoss {
+				res.Converged = true
+				break
+			}
+			if tr.RelTol > 0 && !math.IsNaN(prevLoss) {
+				den := math.Abs(prevLoss)
+				if den == 0 {
+					den = 1
+				}
+				if math.Abs(prevLoss-loss)/den < tr.RelTol {
+					res.Converged = true
+					break
+				}
+			}
+			prevLoss = loss
+		}
+	}
+	res.Model = model.Snapshot()
+	res.Total = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+func TestReservoirFillsToCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(5, rng)
+	for i := 0; i < 3; i++ {
+		if d := r.Offer(engine.Tuple{engine.I64(int64(i))}); d != nil {
+			t.Fatal("dropped while filling")
+		}
+	}
+	if r.Len() != 3 || r.Seen() != 3 {
+		t.Fatalf("Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+}
+
+func TestReservoirDropsExactlyOnePerOfferWhenFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewReservoir(4, rng)
+	for i := 0; i < 4; i++ {
+		r.Offer(engine.Tuple{engine.I64(int64(i))})
+	}
+	for i := 4; i < 100; i++ {
+		d := r.Offer(engine.Tuple{engine.I64(int64(i))})
+		if d == nil {
+			t.Fatalf("offer %d dropped nothing though reservoir is full", i)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d after overflow", r.Len())
+	}
+}
+
+// Statistical check: every item has (approximately) equal probability of
+// ending in the reservoir.
+func TestReservoirUniformity(t *testing.T) {
+	const n, capN, trials = 20, 5, 6000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(3))
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir(capN, rng)
+		for i := 0; i < n; i++ {
+			r.Offer(engine.Tuple{engine.I64(int64(i))})
+		}
+		for _, tp := range r.Items() {
+			counts[tp[0].Int]++
+		}
+	}
+	want := float64(trials) * capN / n // expected inclusions per item
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("item %d sampled %d times, want ≈%.0f (±15%%)", i, c, want)
+		}
+	}
+}
+
+func TestReservoirMinimumCapacity(t *testing.T) {
+	r := NewReservoir(0, rand.New(rand.NewSource(4)))
+	r.Offer(engine.Tuple{engine.I64(1)})
+	if r.Len() != 1 {
+		t.Fatal("cap<1 should clamp to 1")
+	}
+}
+
+func TestSampleTable(t *testing.T) {
+	tbl := engine.NewMemTable("t", engine.Schema{{Name: "id", Type: engine.TInt64}})
+	for i := 0; i < 100; i++ {
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i))})
+	}
+	got, err := SampleTable(tbl, 10, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("sample size %d", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, tp := range got {
+		if seen[tp[0].Int] {
+			t.Fatal("duplicate in without-replacement sample")
+		}
+		seen[tp[0].Int] = true
+	}
+}
+
+func lrTable(t *testing.T, n int, seed int64) (*engine.Table, *tasks.LR) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := engine.NewMemTable("d", tasks.DenseExampleSchema)
+	for i := 0; i < n; i++ {
+		y, off := 1.0, 1.5
+		if i < n/2 {
+			y, off = -1.0, -1.5
+		}
+		x := vector.Dense{off + 0.5*rng.NormFloat64(), rng.NormFloat64()}
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.DenseV(x), engine.F64(y)})
+	}
+	// Clustered by label: the pathological storage order.
+	return tbl, tasks.NewLR(2)
+}
+
+func TestSubsampleTrainerLearns(t *testing.T) {
+	tbl, task := lrTable(t, 400, 1)
+	tr := &SubsampleTrainer{Task: task, Step: core.DefaultStep(0.3), MaxEpochs: 20, BufCap: 40, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss() >= res.Losses[0] {
+		t.Fatalf("subsampling did not improve: %g -> %g", res.Losses[0], res.FinalLoss())
+	}
+}
+
+func TestSubsampleTrainerValidation(t *testing.T) {
+	tbl, task := lrTable(t, 10, 2)
+	if _, err := (&SubsampleTrainer{Task: task, Step: core.ConstantStep{A: 1}, BufCap: 5}).Run(tbl); err == nil {
+		t.Fatal("MaxEpochs=0 must error")
+	}
+	if _, err := (&SubsampleTrainer{Task: task, Step: core.ConstantStep{A: 1}, MaxEpochs: 1}).Run(tbl); err == nil {
+		t.Fatal("BufCap=0 must error")
+	}
+}
+
+func TestMRSTrainerLearns(t *testing.T) {
+	tbl, task := lrTable(t, 400, 3)
+	tr := &MRSTrainer{Task: task, Step: core.DefaultStep(0.3), Passes: 10, BufCap: 40, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss() >= res.Losses[0] {
+		t.Fatalf("MRS did not improve: %g -> %g", res.Losses[0], res.FinalLoss())
+	}
+	if res.Epochs != 10 || len(res.Losses) != 10 {
+		t.Fatalf("epochs=%d losses=%d", res.Epochs, len(res.Losses))
+	}
+}
+
+func TestMRSBeatsSubsamplingAtEqualBudget(t *testing.T) {
+	// The paper's Figure 10: MRS uses the dropped tuples as well, so at the
+	// same buffer size it reaches a lower objective in the same number of
+	// passes over the data.
+	tbl, task := lrTable(t, 800, 4)
+	const buf, passes = 80, 8
+	sub, err := (&SubsampleTrainer{Task: task, Step: core.DefaultStep(0.3), MaxEpochs: passes, BufCap: buf, Seed: 1}).Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrs, err := (&MRSTrainer{Task: task, Step: core.DefaultStep(0.3), Passes: passes, BufCap: buf, Seed: 1}).Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrs.FinalLoss() >= sub.FinalLoss() {
+		t.Fatalf("MRS (%g) should beat Subsampling (%g)", mrs.FinalLoss(), sub.FinalLoss())
+	}
+}
+
+func TestMRSTrainerValidation(t *testing.T) {
+	tbl, task := lrTable(t, 10, 5)
+	if _, err := (&MRSTrainer{Task: task, Step: core.ConstantStep{A: 1}, BufCap: 5}).Run(tbl); err == nil {
+		t.Fatal("Passes=0 must error")
+	}
+	if _, err := (&MRSTrainer{Task: task, Step: core.ConstantStep{A: 1}, Passes: 1}).Run(tbl); err == nil {
+		t.Fatal("BufCap=0 must error")
+	}
+}

@@ -1,0 +1,186 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/parallel"
+)
+
+// SubsampleTrainer is the classical vendor approach for data too large to
+// shuffle: draw one reservoir sample of BufCap tuples in a single pass,
+// then run IGD epochs over the in-memory buffer only. It avoids shuffling
+// but discards most of the data, adding estimation variance — the weakness
+// MRS fixes.
+type SubsampleTrainer struct {
+	Task      core.Task
+	Step      core.StepRule
+	MaxEpochs int // epochs over the buffer
+	BufCap    int
+	Seed      int64
+	// LossEvery > 0 evaluates the full-table loss every that many epochs
+	// (loss index i corresponds to epoch (i+1)·LossEvery); 1 by default.
+	LossEvery int
+}
+
+// Run trains on a single reservoir sample of the table.
+func (tr *SubsampleTrainer) Run(tbl *engine.Table) (*core.Result, error) {
+	if tr.MaxEpochs <= 0 || tr.BufCap <= 0 {
+		return nil, fmt.Errorf("sampling: MaxEpochs and BufCap must be > 0")
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	start := time.Now()
+	buf, err := SampleTable(tbl, tr.BufCap, rng)
+	if err != nil {
+		return nil, err
+	}
+	w := core.InitialModel(tr.Task, tr.Seed)
+	dm := &core.DenseModel{W: w}
+	every := tr.LossEvery
+	if every <= 0 {
+		every = 1
+	}
+	res := &core.Result{}
+	for e := 0; e < tr.MaxEpochs; e++ {
+		epochStart := time.Now()
+		alpha := tr.Step.Alpha(e)
+		for _, tp := range buf {
+			tr.Task.Step(dm, tp, alpha)
+		}
+		res.Epochs = e + 1
+		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+		if (e+1)%every == 0 {
+			loss, err := core.TotalLoss(tr.Task, dm.W, tbl)
+			if err != nil {
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+		}
+	}
+	res.Model = dm.W
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// MRSTrainer is multiplexed reservoir sampling (Figure 6): an I/O worker
+// scans the table, reservoir-sampling into one buffer while taking gradient
+// steps on every dropped tuple; a Memory worker concurrently loops gradient
+// steps over the buffer filled by the previous pass. The two buffers swap
+// after each pass, and both workers update one shared model with NoLock
+// (Hogwild) semantics.
+type MRSTrainer struct {
+	Task   core.Task
+	Step   core.StepRule
+	Passes int // I/O passes over the full table
+	BufCap int
+	Seed   int64
+	// SkipLoss disables the full-table loss evaluation after each pass.
+	SkipLoss bool
+	// MemRatio caps the Memory worker at this multiple of the I/O worker's
+	// gradient steps (default 1.0). Without a cap, a fast memory worker
+	// loops the small buffer far more often than the I/O worker advances,
+	// over-weighting the buffered examples; the paper's setup naturally
+	// balances the two because the I/O worker runs at disk speed on its own
+	// core.
+	MemRatio float64
+}
+
+// Run trains with MRS and returns per-pass losses.
+func (tr *MRSTrainer) Run(tbl *engine.Table) (*core.Result, error) {
+	if tr.Passes <= 0 || tr.BufCap <= 0 {
+		return nil, fmt.Errorf("sampling: Passes and BufCap must be > 0")
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	model := parallel.NewAtomicModel(tr.Task.Dim(), false)
+	model.SetFrom(core.InitialModel(tr.Task, tr.Seed))
+
+	// The Memory worker polls `memBuf` (an atomically published tuple
+	// slice) and `alphaBits`, looping gradient steps until told to stop —
+	// the paper's "signaled by polling a common integer".
+	var memBuf atomic.Pointer[[]engine.Tuple]
+	var alphaBits atomic.Uint64
+	var stop atomic.Bool
+	var memSteps, ioSteps atomic.Int64
+	setAlpha := func(a float64) { alphaBits.Store(uint64FromFloat(a)) }
+	setAlpha(tr.Step.Alpha(0))
+	ratio := tr.MemRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			bp := memBuf.Load()
+			if bp == nil || len(*bp) == 0 {
+				runtime.Gosched()
+				continue
+			}
+			alpha := floatFromUint64(alphaBits.Load())
+			for _, tp := range *bp {
+				if stop.Load() {
+					return
+				}
+				if float64(memSteps.Load()) > ratio*float64(ioSteps.Load()) {
+					runtime.Gosched()
+					continue
+				}
+				tr.Task.Step(model, tp, alpha)
+				memSteps.Add(1)
+			}
+		}
+	}()
+
+	res := &core.Result{}
+	start := time.Now()
+	for pass := 0; pass < tr.Passes; pass++ {
+		passStart := time.Now()
+		alpha := tr.Step.Alpha(pass)
+		setAlpha(alpha)
+		resv := NewReservoir(tr.BufCap, rng)
+		err := tbl.Scan(func(tp engine.Tuple) error {
+			if dropped := resv.Offer(tp); dropped != nil {
+				tr.Task.Step(model, dropped, alpha)
+				ioSteps.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return nil, err
+		}
+		// Swap: the buffer just filled becomes the Memory worker's input.
+		items := resv.Items()
+		memBuf.Store(&items)
+		res.Epochs = pass + 1
+		res.EpochTimes = append(res.EpochTimes, time.Since(passStart))
+		if !tr.SkipLoss {
+			loss, err := core.TotalLoss(tr.Task, model.Snapshot(), tbl)
+			if err != nil {
+				stop.Store(true)
+				wg.Wait()
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	res.Model = model.Snapshot()
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,357 @@
+// Package sqlish implements the MADlib-style end-user interface of §2.1:
+// statements like
+//
+//	SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');
+//
+// are parsed and dispatched onto Bismarck trainers over a file catalog.
+// The trained model is persisted as a user table (one row per coefficient),
+// exactly as the paper describes. This is deliberately NOT a SQL engine —
+// the paper's point is that the interface layer is thin and orthogonal to
+// the unified architecture underneath.
+package sqlish
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/ordering"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+// Session executes statements against one catalog.
+type Session struct {
+	Cat *engine.Catalog
+	Out io.Writer
+	// Epochs and Alpha tune training; zero values pick defaults (20, 0.1).
+	Epochs int
+	Alpha  float64
+}
+
+var stmtRe = regexp.MustCompile(`(?is)^\s*SELECT\s+([A-Za-z0-9_]+)\s*\(([^)]*)\)\s*;?\s*$`)
+
+// Exec parses and runs one statement.
+func (s *Session) Exec(stmt string) error {
+	m := stmtRe.FindStringSubmatch(stmt)
+	if m == nil {
+		return fmt.Errorf("sqlish: cannot parse %q (expected SELECT Func('arg', ...))", stmt)
+	}
+	fn := strings.ToLower(m[1])
+	args, err := parseArgs(m[2])
+	if err != nil {
+		return err
+	}
+	switch fn {
+	case "lrtrain":
+		return s.trainClassifier(args, true)
+	case "svmtrain":
+		return s.trainClassifier(args, false)
+	case "lmftrain":
+		return s.trainLMF(args)
+	case "crftrain":
+		return s.trainCRF(args)
+	case "predict":
+		return s.predict(args)
+	case "tables":
+		for _, n := range s.Cat.Names() {
+			fmt.Fprintln(s.Out, n)
+		}
+		return nil
+	}
+	return fmt.Errorf("sqlish: unknown function %q", m[1])
+}
+
+// parseArgs splits 'a', 'b', 3 into tokens, stripping quotes.
+func parseArgs(raw string) ([]string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if len(p) >= 2 && p[0] == '\'' && p[len(p)-1] == '\'' {
+			p = p[1 : len(p)-1]
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func (s *Session) epochs() int {
+	if s.Epochs > 0 {
+		return s.Epochs
+	}
+	return 20
+}
+
+func (s *Session) alpha() float64 {
+	if s.Alpha > 0 {
+		return s.Alpha
+	}
+	return 0.1
+}
+
+// trainClassifier handles LRTrain / SVMTrain(model, table, vecCol, labelCol).
+func (s *Session) trainClassifier(args []string, logistic bool) error {
+	if len(args) != 4 {
+		return fmt.Errorf("sqlish: Train needs (model, table, vecCol, labelCol)")
+	}
+	model, tblName, vecCol, labelCol := args[0], args[1], args[2], args[3]
+	tbl, err := s.Cat.Get(tblName)
+	if err != nil {
+		return err
+	}
+	vi := tbl.Schema.ColIndex(vecCol)
+	li := tbl.Schema.ColIndex(labelCol)
+	if vi < 0 || li < 0 {
+		return fmt.Errorf("sqlish: table %s has no columns %s/%s", tblName, vecCol, labelCol)
+	}
+	// Determine dimension with one scan.
+	dim := 0
+	err = tbl.Scan(func(tp engine.Tuple) error {
+		switch tp[vi].Type {
+		case engine.TDenseVec:
+			if d := len(tp[vi].Dense); d > dim {
+				dim = d
+			}
+		case engine.TSparseVec:
+			if d := tp[vi].Sparse.MaxIdx(); d > dim {
+				dim = d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if dim == 0 {
+		return fmt.Errorf("sqlish: no feature vectors found in %s.%s", tblName, vecCol)
+	}
+	// The tasks package expects the standard (id, vec, label) layout; wrap
+	// arbitrary layouts by projecting during training via a view table.
+	view, err := projectView(tbl, vi, li)
+	if err != nil {
+		return err
+	}
+	var task core.Task
+	if logistic {
+		task = tasks.NewLR(dim)
+	} else {
+		task = tasks.NewSVM(dim)
+	}
+	tr := &core.Trainer{Task: task, Step: core.DefaultStep(s.alpha()), MaxEpochs: s.epochs(),
+		Order: ordering.ShuffleOnce{}, Seed: 1}
+	res, err := tr.Run(view)
+	if err != nil {
+		return err
+	}
+	if err := s.saveModel(model, res.Model); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "%s trained on %s: %d epochs, final loss %.6g; model saved to table %q\n",
+		task.Name(), tblName, res.Epochs, res.FinalLoss(), model)
+	return nil
+}
+
+// projectView materializes an (id, vec, label) view of the source table.
+func projectView(tbl *engine.Table, vi, li int) (*engine.Table, error) {
+	schema := tasks.DenseExampleSchema
+	// Peek the vector type.
+	sparse := false
+	err := tbl.Scan(func(tp engine.Tuple) error {
+		sparse = tp[vi].Type == engine.TSparseVec
+		return errStopScan
+	})
+	if err != nil && err != errStopScan {
+		return nil, err
+	}
+	if sparse {
+		schema = tasks.SparseExampleSchema
+	}
+	view := engine.NewMemTable(tbl.Name+"_view", schema)
+	id := int64(0)
+	err = tbl.Scan(func(tp engine.Tuple) error {
+		view.MustInsert(engine.Tuple{engine.I64(id), tp[vi], tp[li]})
+		id++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+var errStopScan = fmt.Errorf("stop")
+
+// trainLMF handles LMFTrain(model, table, rows, cols, rank).
+func (s *Session) trainLMF(args []string) error {
+	if len(args) != 5 {
+		return fmt.Errorf("sqlish: LMFTrain needs (model, table, rows, cols, rank)")
+	}
+	model, tblName := args[0], args[1]
+	rows, err1 := strconv.Atoi(args[2])
+	cols, err2 := strconv.Atoi(args[3])
+	rank, err3 := strconv.Atoi(args[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("sqlish: LMFTrain rows/cols/rank must be integers")
+	}
+	tbl, err := s.Cat.Get(tblName)
+	if err != nil {
+		return err
+	}
+	task := tasks.NewLMF(rows, cols, rank)
+	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.02, Rho: 0.95},
+		MaxEpochs: s.epochs(), Order: ordering.ShuffleOnce{}, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		return err
+	}
+	if err := s.saveModel(model, res.Model); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "LMF trained on %s: %d epochs, final loss %.6g; model saved to table %q\n",
+		tblName, res.Epochs, res.FinalLoss(), model)
+	return nil
+}
+
+// trainCRF handles CRFTrain(model, table, numFeatures, numLabels).
+func (s *Session) trainCRF(args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("sqlish: CRFTrain needs (model, table, numFeatures, numLabels)")
+	}
+	model, tblName := args[0], args[1]
+	f, err1 := strconv.Atoi(args[2])
+	l, err2 := strconv.Atoi(args[3])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("sqlish: CRFTrain numFeatures/numLabels must be integers")
+	}
+	tbl, err := s.Cat.Get(tblName)
+	if err != nil {
+		return err
+	}
+	task := tasks.NewCRF(f, l)
+	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.1, Rho: 0.9},
+		MaxEpochs: s.epochs(), Order: ordering.ShuffleOnce{}, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		return err
+	}
+	if err := s.saveModel(model, res.Model); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "CRF trained on %s: %d epochs, final NLL %.6g; model saved to table %q\n",
+		tblName, res.Epochs, res.FinalLoss(), model)
+	return nil
+}
+
+// predict handles Predict(model, table, vecCol): prints the fraction of
+// positive predictions (and accuracy when a 'label' column exists).
+func (s *Session) predict(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("sqlish: Predict needs (model, table, vecCol)")
+	}
+	w, err := s.loadModel(args[0])
+	if err != nil {
+		return err
+	}
+	tbl, err := s.Cat.Get(args[1])
+	if err != nil {
+		return err
+	}
+	vi := tbl.Schema.ColIndex(args[2])
+	if vi < 0 {
+		return fmt.Errorf("sqlish: no column %q", args[2])
+	}
+	li := tbl.Schema.ColIndex("label")
+	var n, pos, correct int
+	err = tbl.Scan(func(tp engine.Tuple) error {
+		var margin float64
+		if tp[vi].Type == engine.TSparseVec {
+			margin = vector.DotSparse(w, tp[vi].Sparse)
+		} else {
+			x := tp[vi].Dense
+			d := len(x)
+			if d > len(w) {
+				d = len(w)
+			}
+			margin = vector.Dot(w[:d], x[:d])
+		}
+		n++
+		if margin > 0 {
+			pos++
+		}
+		if li >= 0 && (margin > 0) == (tp[li].Float > 0) {
+			correct++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if li >= 0 {
+		fmt.Fprintf(s.Out, "predicted %d rows: %d positive; accuracy %.2f%%\n", n, pos, 100*float64(correct)/float64(n))
+	} else {
+		fmt.Fprintf(s.Out, "predicted %d rows: %d positive\n", n, pos)
+	}
+	return nil
+}
+
+// ModelSchema is how trained models persist: one (idx, value) row per
+// coefficient, i.e. "the model ... is then persisted as a user table".
+var ModelSchema = engine.Schema{
+	{Name: "idx", Type: engine.TInt64},
+	{Name: "value", Type: engine.TFloat64},
+}
+
+func (s *Session) saveModel(name string, w vector.Dense) error {
+	// Drop a stale model of the same name, then recreate.
+	if _, err := s.Cat.Get(name); err == nil {
+		if err := s.Cat.Drop(name); err != nil {
+			return err
+		}
+	}
+	tbl, err := s.Cat.Create(name, ModelSchema)
+	if err != nil {
+		return err
+	}
+	for i, v := range w {
+		if v == 0 {
+			continue // store sparsely
+		}
+		if err := tbl.Insert(engine.Tuple{engine.I64(int64(i)), engine.F64(v)}); err != nil {
+			return err
+		}
+	}
+	return tbl.Flush()
+}
+
+func (s *Session) loadModel(name string) (vector.Dense, error) {
+	tbl, err := s.Cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	maxIdx := int64(-1)
+	if err := tbl.Scan(func(tp engine.Tuple) error {
+		if tp[0].Int > maxIdx {
+			maxIdx = tp[0].Int
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	w := vector.NewDense(int(maxIdx + 1))
+	if err := tbl.Scan(func(tp engine.Tuple) error {
+		w[tp[0].Int] = tp[1].Float
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,158 @@
+package sqlish
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+	"bismarck/internal/tasks"
+)
+
+func session(t *testing.T) (*Session, *bytes.Buffer) {
+	t.Helper()
+	cat := engine.NewCatalog()
+	var out bytes.Buffer
+	return &Session{Cat: cat, Out: &out, Epochs: 8, Alpha: 0.2}, &out
+}
+
+func loadForest(t *testing.T, s *Session, n int) {
+	t.Helper()
+	src := data.Forest(n, 5)
+	dst, err := s.Cat.Create("papers", tasks.DenseExampleSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVMTrainAndPredict(t *testing.T) {
+	s, out := session(t)
+	loadForest(t, s, 600)
+	if err := s.Exec("SELECT SVMTrain('myModel', 'papers', 'vec', 'label');"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SVM trained") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if _, err := s.Cat.Get("myModel"); err != nil {
+		t.Fatal("model table not persisted")
+	}
+	out.Reset()
+	if err := s.Exec("SELECT Predict('myModel', 'papers', 'vec')"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "accuracy") {
+		t.Fatalf("predict output: %s", got)
+	}
+	// A trained SVM on learnable data should beat coin flipping clearly.
+	m := regexp.MustCompile(`accuracy ([0-9.]+)%`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("cannot parse accuracy from %q", got)
+	}
+	acc, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 75 {
+		t.Fatalf("accuracy %.1f%% too low", acc)
+	}
+}
+
+func TestLRTrainRetrainsOverExistingModel(t *testing.T) {
+	s, _ := session(t)
+	loadForest(t, s, 200)
+	if err := s.Exec("SELECT LRTrain('m', 'papers', 'vec', 'label')"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-training must replace, not fail on, the existing model table.
+	if err := s.Exec("SELECT LRTrain('m', 'papers', 'vec', 'label')"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLMFTrain(t *testing.T) {
+	s, out := session(t)
+	src := data.MovieLens(40, 30, 800, 4, 0.2, 9)
+	dst, err := s.Cat.Create("ratings", tasks.RatingSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Exec("SELECT LMFTrain('mf', 'ratings', 40, 30, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LMF trained") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestCRFTrain(t *testing.T) {
+	s, out := session(t)
+	src := data.CoNLL(40, 100, 3, 6, 13)
+	dst, err := s.Cat.Create("seqs", tasks.SeqSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Exec("SELECT CRFTrain('crfm', 'seqs', 100, 3)"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CRF trained") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestTablesStatement(t *testing.T) {
+	s, out := session(t)
+	loadForest(t, s, 10)
+	if err := s.Exec("SELECT Tables()"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "papers") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s, _ := session(t)
+	for _, stmt := range []string{
+		"DROP TABLE x",
+		"SELECT NoSuchFunc('a')",
+		"SELECT LRTrain('only-two', 'args')",
+		"SELECT LMFTrain('m', 't', 'x', 'y', 'z')", // non-integer dims
+		"SELECT Predict('missing', 'papers', 'vec')",
+	} {
+		if err := s.Exec(stmt); err == nil {
+			t.Fatalf("statement %q should fail", stmt)
+		}
+	}
+}
+
+func TestSparseTraining(t *testing.T) {
+	s, out := session(t)
+	src := data.DBLife(300, 2000, 8, 3)
+	dst, err := s.Cat.Create("docs", tasks.SparseExampleSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Exec("SELECT LRTrain('sm', 'docs', 'vec', 'label')"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LR trained") {
+		t.Fatalf("output: %s", out.String())
+	}
+}

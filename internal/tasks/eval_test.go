@@ -1,0 +1,109 @@
+package tasks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+func TestEvaluateBinaryPerfectClassifier(t *testing.T) {
+	tbl := engine.NewMemTable("d", DenseExampleSchema)
+	// x[0] determines the label exactly.
+	for i := 0; i < 40; i++ {
+		y := float64(1)
+		x := vector.Dense{1}
+		if i%2 == 0 {
+			y, x = -1, vector.Dense{-1}
+		}
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.DenseV(x), engine.F64(y)})
+	}
+	task := NewSVM(1)
+	w := vector.Dense{1}
+	m, err := EvaluateBinary(task, w, tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 1 || m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.TP != 20 || m.TN != 20 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("confusion = %+v", m)
+	}
+}
+
+func TestEvaluateBinaryAllWrong(t *testing.T) {
+	tbl := engine.NewMemTable("d", DenseExampleSchema)
+	tbl.MustInsert(engine.Tuple{engine.I64(0), engine.DenseV(vector.Dense{1}), engine.F64(-1)})
+	tbl.MustInsert(engine.Tuple{engine.I64(1), engine.DenseV(vector.Dense{-1}), engine.F64(1)})
+	m, err := EvaluateBinary(NewSVM(1), vector.Dense{1}, tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 0 || m.FP != 1 || m.FN != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestEvaluateBinaryEmptyTable(t *testing.T) {
+	tbl := engine.NewMemTable("d", DenseExampleSchema)
+	if _, err := EvaluateBinary(NewSVM(1), vector.Dense{1}, tbl, 0); err == nil {
+		t.Fatal("expected error on empty table")
+	}
+}
+
+func TestLMFRMSE(t *testing.T) {
+	tbl := engine.NewMemTable("r", RatingSchema)
+	task := NewLMF(2, 2, 1)
+	// Model: L = [1;2], R = [3;4] => predictions 3,4,6,8.
+	w := vector.Dense{1, 2, 3, 4}
+	tbl.MustInsert(engine.Tuple{engine.I64(0), engine.I64(0), engine.F64(3)}) // exact
+	tbl.MustInsert(engine.Tuple{engine.I64(1), engine.I64(1), engine.F64(10)})
+	got, err := task.RMSE(w, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((0 + 4) / 2.0) // errors 0 and 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	empty := engine.NewMemTable("e", RatingSchema)
+	if _, err := task.RMSE(w, empty); err == nil {
+		t.Fatal("expected error on empty table")
+	}
+}
+
+func TestCRFTokenAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tbl := engine.NewMemTable("seq", SeqSchema)
+	const F, L = 6, 2
+	for s := 0; s < 40; s++ {
+		T := 3 + rng.Intn(4)
+		offsets := make([]int32, T+1)
+		var feats []int32
+		labels := make([]int32, T)
+		for tt := 0; tt < T; tt++ {
+			f := int32(rng.Intn(F))
+			labels[tt] = f % 2
+			feats = append(feats, f)
+			offsets[tt+1] = int32(len(feats))
+		}
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(s)), engine.IntsV(offsets), engine.IntsV(feats), engine.IntsV(labels)})
+	}
+	task := NewCRF(F, L)
+	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.2, Rho: 0.95}, MaxEpochs: 25, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total, err := task.TokenAccuracy(res.Model, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || float64(correct)/float64(total) < 0.9 {
+		t.Fatalf("accuracy %d/%d", correct, total)
+	}
+}

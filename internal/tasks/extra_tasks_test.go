@@ -1,0 +1,210 @@
+package tasks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// --- Lasso ---
+
+func TestLassoGradientSmoothPart(t *testing.T) {
+	// With Mu=0 the lasso step is exactly the least-squares gradient.
+	rng := rand.New(rand.NewSource(1))
+	task := NewLasso(4, 0)
+	tp := engine.Tuple{engine.I64(0), engine.DenseV(randDense(rng, 4)), engine.F64(1.2)}
+	fdCheck(t, task, tp, randDense(rng, 4), 1e-4)
+}
+
+func TestLassoProxSoftThresholds(t *testing.T) {
+	task := NewLasso(3, 1.0)
+	m := &core.DenseModel{W: vector.Dense{5, -5, 0.0001}}
+	// Example with zero features: only the prox should act (via Step with a
+	// dense all-ones vector and y chosen so the residual is 0).
+	x := vector.Dense{0, 0, 0}
+	tp := engine.Tuple{engine.I64(0), engine.DenseV(x), engine.F64(0)}
+	task.Step(m, tp, 0.5) // amu = 0.5
+	if math.Abs(m.W[0]-4.5) > 1e-12 || math.Abs(m.W[1]+4.5) > 1e-12 || m.W[2] != 0 {
+		t.Fatalf("prox result %v", m.W)
+	}
+}
+
+func TestLassoInducesSparsity(t *testing.T) {
+	// y depends only on features 0 and 1; lasso should zero the rest.
+	rng := rand.New(rand.NewSource(2))
+	tbl := engine.NewMemTable("d", DenseExampleSchema)
+	const d = 20
+	for i := 0; i < 400; i++ {
+		x := randDense(rng, d)
+		y := 2*x[0] - 3*x[1] + 0.05*rng.NormFloat64()
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.DenseV(x), engine.F64(y)})
+	}
+	task := NewLasso(d, 0.02)
+	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.05, Rho: 0.97}, MaxEpochs: 60, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model[0]-2) > 0.3 || math.Abs(res.Model[1]+3) > 0.3 {
+		t.Fatalf("signal coefficients off: %v %v", res.Model[0], res.Model[1])
+	}
+	nnz := task.NNZ(res.Model, 0.05)
+	if nnz > 6 {
+		t.Fatalf("lasso kept %d coefficients, expected near 2", nnz)
+	}
+	if task.RegPenalty(res.Model) <= 0 {
+		t.Fatal("RegPenalty should be positive for a nonzero model")
+	}
+}
+
+// --- Softmax ---
+
+func TestSoftmaxGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	task := NewSoftmax(3, 4)
+	tp := engine.Tuple{engine.I64(0), engine.DenseV(randDense(rng, 3)), engine.F64(2)}
+	fdCheck(t, task, tp, randDense(rng, task.Dim()), 1e-3)
+}
+
+func TestSoftmaxGradientSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	task := NewSoftmax(6, 3)
+	x := vector.NewSparse([]int32{0, 4}, []float64{1.5, -0.5})
+	tp := engine.Tuple{engine.I64(0), engine.SparseV(x), engine.F64(1)}
+	fdCheck(t, task, tp, randDense(rng, task.Dim()), 1e-3)
+}
+
+func TestSoftmaxLearnsThreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tbl := engine.NewMemTable("d", DenseExampleSchema)
+	centers := []vector.Dense{{3, 0}, {-3, 3}, {0, -3}}
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		x := vector.Dense{centers[c][0] + 0.5*rng.NormFloat64(), centers[c][1] + 0.5*rng.NormFloat64()}
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.DenseV(x), engine.F64(float64(c))})
+	}
+	task := NewSoftmax(2, 3)
+	tr := &core.Trainer{Task: task, Step: core.DefaultStep(0.3), MaxEpochs: 25, Seed: 1}
+	res, err := tr.Run(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	tbl.Scan(func(tp engine.Tuple) error {
+		if task.Predict(res.Model, tp[ColVec]) == int(tp[ColLabel].Float) {
+			correct++
+		}
+		return nil
+	})
+	if correct < 290 {
+		t.Fatalf("softmax accuracy %d/300", correct)
+	}
+}
+
+func TestSoftmaxProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	task := NewSoftmax(4, 5)
+	m := &core.DenseModel{W: randDense(rng, task.Dim())}
+	p := task.probs(m, engine.DenseV(randDense(rng, 4)))
+	var sum float64
+	for _, x := range p {
+		if x < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+// --- MaxCut ---
+
+// ringGraph builds an n-cycle with unit weights; its max cut is n for even
+// n (alternating assignment) and n−1 for odd n.
+func ringGraph(n int) *engine.Table {
+	tbl := engine.NewMemTable("edges", RatingSchema)
+	for i := 0; i < n; i++ {
+		tbl.MustInsert(engine.Tuple{engine.I64(int64(i)), engine.I64(int64((i + 1) % n)), engine.F64(1)})
+	}
+	return tbl
+}
+
+func TestMaxCutInitUnitNorm(t *testing.T) {
+	task := NewMaxCut(7, 3)
+	w := task.InitModel(1)
+	for v := 0; v < 7; v++ {
+		var norm float64
+		for q := 0; q < 3; q++ {
+			norm += w[v*3+q] * w[v*3+q]
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("vertex %d norm² = %v", v, norm)
+		}
+	}
+}
+
+func TestMaxCutStepKeepsUnitNorm(t *testing.T) {
+	task := NewMaxCut(4, 3)
+	m := &core.DenseModel{W: task.InitModel(2)}
+	for i := 0; i < 20; i++ {
+		tp := engine.Tuple{engine.I64(int64(i % 4)), engine.I64(int64((i + 1) % 4)), engine.F64(1)}
+		task.Step(m, tp, 0.3)
+	}
+	for v := 0; v < 4; v++ {
+		var norm float64
+		for q := 0; q < 3; q++ {
+			norm += m.W[v*3+q] * m.W[v*3+q]
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("vertex %d drifted off the sphere: %v", v, norm)
+		}
+	}
+}
+
+func TestMaxCutSolvesEvenRing(t *testing.T) {
+	const n = 10
+	edges := ringGraph(n)
+	task := NewMaxCut(n, 4)
+	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.3, Rho: 0.95},
+		MaxEpochs: 80, Seed: 3, SkipLoss: true}
+	res, err := tr.Run(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, val, err := task.RoundCut(res.Model, edges, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != n {
+		t.Fatalf("cut size %d", len(cut))
+	}
+	// Goemans-Williamson guarantees ≥ 0.878·OPT in expectation; on a tiny
+	// even ring the relaxation + rounding should find the perfect cut most
+	// of the time, and certainly ≥ 0.8·OPT with 50 roundings.
+	if val < 0.8*float64(n) {
+		t.Fatalf("cut value %v < 0.8·OPT (%d)", val, n)
+	}
+}
+
+func TestCutValueCountsCrossingEdges(t *testing.T) {
+	edges := ringGraph(4)
+	val, err := CutValue([]int8{1, -1, 1, -1}, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 4 {
+		t.Fatalf("alternating cut on 4-ring = %v, want 4", val)
+	}
+	val, err = CutValue([]int8{1, 1, 1, 1}, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0 {
+		t.Fatalf("trivial cut = %v, want 0", val)
+	}
+}

@@ -1,0 +1,75 @@
+package tasks
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Kalman fits noisy time-series data with the quadratic smoothing objective
+// of Figure 1:
+//
+//	min_{w_1..w_T} Σ_t ‖C·w_t − y_t‖² + ρ‖w_t − A·w_{t−1}‖²
+//
+// Each tuple is one time step (t, y_t); the model stacks the T state
+// vectors. With C = A = I (the default) this is a random-walk smoother; the
+// coupling term touches the neighbouring state, which makes Kalman the one
+// task whose per-tuple gradient spans two model blocks.
+type Kalman struct {
+	T, D int     // number of time steps, state dimension
+	Rho  float64 // smoothness weight (defaults to 1 when 0)
+}
+
+// NewKalman returns a Kalman fitting task for a series of T steps of
+// dimension d.
+func NewKalman(T, d int) *Kalman { return &Kalman{T: T, D: d, Rho: 1} }
+
+// Name implements core.Task.
+func (t *Kalman) Name() string { return "KALMAN" }
+
+// Dim implements core.Task.
+func (t *Kalman) Dim() int { return t.T * t.D }
+
+// Step implements core.Task.
+func (t *Kalman) Step(m core.Model, e engine.Tuple, alpha float64) {
+	step := int(e[0].Int)
+	y := e[1].Dense
+	off := step * t.D
+	// The tuple's own objective terms are ‖w_t − y_t‖² plus, for t > 0, the
+	// backward coupling ρ‖w_t − w_{t−1}‖² (each coupling term belongs to
+	// exactly one tuple so the per-tuple gradients sum to the full one).
+	for q := 0; q < t.D; q++ {
+		wq := m.Get(off + q)
+		g := 2 * (wq - y[q]) // observation term
+		if step > 0 {
+			prev := m.Get(off - t.D + q)
+			g += 2 * t.Rho * (wq - prev)
+			m.Add(off-t.D+q, -alpha*2*t.Rho*(prev-wq))
+		}
+		m.Add(off+q, -alpha*g)
+	}
+}
+
+// Loss implements core.Task: the observation error plus the forward
+// coupling term of this step.
+func (t *Kalman) Loss(w vector.Dense, e engine.Tuple) float64 {
+	step := int(e[0].Int)
+	y := e[1].Dense
+	off := step * t.D
+	var l float64
+	for q := 0; q < t.D; q++ {
+		d := w[off+q] - y[q]
+		l += d * d
+		if step > 0 {
+			c := w[off+q] - w[off-t.D+q]
+			l += t.Rho * c * c
+		}
+	}
+	return l
+}
+
+// State returns the fitted state vector at the given time step.
+func (t *Kalman) State(w vector.Dense, step int) vector.Dense {
+	off := step * t.D
+	return w[off : off+t.D].Clone()
+}

@@ -1,0 +1,95 @@
+package tasks
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Lasso is L1-regularized least squares:
+//
+//	min_w ½ Σ_i (wᵀx_i − y_i)² + µ‖w‖₁
+//
+// the sparsity-inducing regression of Tibshirani cited in the paper's
+// related work. The non-smooth penalty is handled exactly as Appendix A
+// prescribes: a gradient step on the smooth part followed by the proximal
+// operator of µ‖·‖₁ (soft thresholding) on the touched coordinates.
+type Lasso struct {
+	D  int
+	Mu float64
+}
+
+// NewLasso returns a lasso task over d features.
+func NewLasso(d int, mu float64) *Lasso { return &Lasso{D: d, Mu: mu} }
+
+// Name implements core.Task.
+func (t *Lasso) Name() string { return "LASSO" }
+
+// Dim implements core.Task.
+func (t *Lasso) Dim() int { return t.D }
+
+// Step implements core.Task: gradient step then soft-threshold.
+func (t *Lasso) Step(m core.Model, e engine.Tuple, alpha float64) {
+	x, y := e[ColVec], e[ColLabel].Float
+	r := dotModel(m, x) - y
+	axpyModel(m, x, -alpha*r)
+	t.proxTouched(m, x, alpha*t.Mu)
+}
+
+// proxTouched applies soft thresholding only to the coordinates the example
+// touches, keeping the step cost proportional to its nonzeros.
+func (t *Lasso) proxTouched(m core.Model, v engine.Value, amu float64) {
+	if amu <= 0 {
+		return
+	}
+	shrink := func(i int) {
+		w := m.Get(i)
+		switch {
+		case w > amu:
+			m.Add(i, -amu)
+		case w < -amu:
+			m.Add(i, amu)
+		default:
+			m.Add(i, -w)
+		}
+	}
+	if v.Type == engine.TSparseVec {
+		d := m.Dim()
+		for _, i := range v.Sparse.Idx {
+			if int(i) < d {
+				shrink(int(i))
+			}
+		}
+		return
+	}
+	for i := range v.Dense {
+		shrink(i)
+	}
+}
+
+// Loss implements core.Task: the squared error of one example (the L1
+// penalty is reported once per evaluation via RegPenalty).
+func (t *Lasso) Loss(w vector.Dense, e engine.Tuple) float64 {
+	r := dotFeatures(w, e[ColVec]) - e[ColLabel].Float
+	return 0.5 * r * r
+}
+
+// RegPenalty implements core.Regularized.
+func (t *Lasso) RegPenalty(w vector.Dense) float64 {
+	if t.Mu == 0 {
+		return 0
+	}
+	return t.Mu * w.Norm1()
+}
+
+// NNZ reports the number of (effectively) nonzero model coefficients, the
+// quantity lasso exists to minimize.
+func (t *Lasso) NNZ(w vector.Dense, eps float64) int {
+	n := 0
+	for _, x := range w {
+		if x > eps || x < -eps {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package tasks
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// LeastSquares fits min_w ½ Σ_i (wᵀx_i − y_i)², the model behind the
+// paper's 1-D CA-TX analysis (Examples 2.1 and 3.1, Appendix C).
+type LeastSquares struct {
+	D int
+}
+
+// NewLeastSquares returns a least-squares task over d features.
+func NewLeastSquares(d int) *LeastSquares { return &LeastSquares{D: d} }
+
+// Name implements core.Task.
+func (t *LeastSquares) Name() string { return "LSQ" }
+
+// Dim implements core.Task.
+func (t *LeastSquares) Dim() int { return t.D }
+
+// Step implements core.Task: w ← w − α(wᵀx − y)x.
+func (t *LeastSquares) Step(m core.Model, e engine.Tuple, alpha float64) {
+	x, y := e[ColVec], e[ColLabel].Float
+	r := dotModel(m, x) - y
+	axpyModel(m, x, -alpha*r)
+}
+
+// Loss implements core.Task: ½(wᵀx − y)².
+func (t *LeastSquares) Loss(w vector.Dense, e engine.Tuple) float64 {
+	r := dotFeatures(w, e[ColVec]) - e[ColLabel].Float
+	return 0.5 * r * r
+}

@@ -1,0 +1,117 @@
+package tasks
+
+import (
+	"math/rand"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// LMF is low-rank matrix factorization for recommendation:
+//
+//	min_{L,R} Σ_{(i,j)∈Ω} (L_iᵀR_j − M_ij)² + (µ/2)‖L,R‖²_F
+//
+// where M is observed only on the sparse sample Ω (the ratings). The model
+// is the flattened factor pair: L is Rows×Rank followed by R as Cols×Rank.
+// As the paper notes, this objective is not convex, but IGD still solves it
+// well in practice (Gemulla et al.).
+type LMF struct {
+	Rows, Cols, Rank int
+	Mu               float64
+	InitScale        float64 // stddev-ish scale of the random init, default 0.1
+}
+
+// NewLMF returns a factorization task for an m×n matrix at the given rank.
+func NewLMF(rows, cols, rank int) *LMF {
+	return &LMF{Rows: rows, Cols: cols, Rank: rank, InitScale: 0.1}
+}
+
+// Name implements core.Task.
+func (t *LMF) Name() string { return "LMF" }
+
+// Dim implements core.Task.
+func (t *LMF) Dim() int { return (t.Rows + t.Cols) * t.Rank }
+
+// lOff and rOff locate the factor vectors inside the flattened model.
+func (t *LMF) lOff(i int) int { return i * t.Rank }
+func (t *LMF) rOff(j int) int { return (t.Rows + j) * t.Rank }
+
+// InitModel implements core.Initializer: small random factors, since a zero
+// start is a saddle point of the factorization objective.
+func (t *LMF) InitModel(seed int64) vector.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	scale := t.InitScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	w := vector.NewDense(t.Dim())
+	for i := range w {
+		w[i] = scale * rng.NormFloat64()
+	}
+	return w
+}
+
+// Step implements core.Task: the biased SGD update of both touched factors.
+func (t *LMF) Step(m core.Model, e engine.Tuple, alpha float64) {
+	i, j, v := int(e[0].Int), int(e[1].Int), e[2].Float
+	lo, ro := t.lOff(i), t.rOff(j)
+	k := t.Rank
+	// err = L_i·R_j − M_ij
+	var pred float64
+	if dm, ok := m.(*core.DenseModel); ok {
+		l, r := dm.W[lo:lo+k], dm.W[ro:ro+k]
+		for q := 0; q < k; q++ {
+			pred += l[q] * r[q]
+		}
+		g := 2 * (pred - v) // d/dpred of (pred − M_ij)²
+		for q := 0; q < k; q++ {
+			lq, rq := l[q], r[q]
+			l[q] -= alpha * (g*rq + t.Mu*lq)
+			r[q] -= alpha * (g*lq + t.Mu*rq)
+		}
+		return
+	}
+	lv := make([]float64, k)
+	rv := make([]float64, k)
+	for q := 0; q < k; q++ {
+		lv[q], rv[q] = m.Get(lo+q), m.Get(ro+q)
+		pred += lv[q] * rv[q]
+	}
+	g := 2 * (pred - v)
+	for q := 0; q < k; q++ {
+		m.Add(lo+q, -alpha*(g*rv[q]+t.Mu*lv[q]))
+		m.Add(ro+q, -alpha*(g*lv[q]+t.Mu*rv[q]))
+	}
+}
+
+// Loss implements core.Task: squared reconstruction error of one cell.
+func (t *LMF) Loss(w vector.Dense, e engine.Tuple) float64 {
+	i, j, v := int(e[0].Int), int(e[1].Int), e[2].Float
+	lo, ro := t.lOff(i), t.rOff(j)
+	var pred float64
+	for q := 0; q < t.Rank; q++ {
+		pred += w[lo+q] * w[ro+q]
+	}
+	d := pred - v
+	return d * d
+}
+
+// RegPenalty implements core.Regularized.
+func (t *LMF) RegPenalty(w vector.Dense) float64 {
+	if t.Mu == 0 {
+		return 0
+	}
+	n := w.Norm2()
+	return 0.5 * t.Mu * n * n
+}
+
+// Predict returns the reconstructed value of cell (i, j) under model w.
+func (t *LMF) Predict(w vector.Dense, i, j int) float64 {
+	lo, ro := t.lOff(i), t.rOff(j)
+	var pred float64
+	for q := 0; q < t.Rank; q++ {
+		pred += w[lo+q] * w[ro+q]
+	}
+	return pred
+}

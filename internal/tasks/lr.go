@@ -1,0 +1,73 @@
+package tasks
+
+import (
+	"math"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// LR is L2-regularized logistic regression:
+//
+//	min_w Σ_i log(1 + exp(−y_i·wᵀx_i)) + (µ/2)‖w‖²
+//
+// The transition step is the paper's Figure 4 LR snippet: compute wᵀx, the
+// sigmoid of the margin, and Scale_And_Add the example into the model.
+type LR struct {
+	D  int     // feature dimension
+	Mu float64 // L2 regularization strength (0 disables)
+}
+
+// NewLR returns a logistic regression task over d features.
+func NewLR(d int) *LR { return &LR{D: d} }
+
+// Name implements core.Task.
+func (t *LR) Name() string { return "LR" }
+
+// Dim implements core.Task.
+func (t *LR) Dim() int { return t.D }
+
+// Step implements core.Task: one incremental gradient step on example e.
+func (t *LR) Step(m core.Model, e engine.Tuple, alpha float64) {
+	x, y := e[ColVec], e[ColLabel].Float
+	wx := dotModel(m, x)
+	sig := sigmoid(-wx * y)
+	c := alpha * y * sig
+	shrinkTouched(m, x, alpha*t.Mu)
+	axpyModel(m, x, c)
+}
+
+// Loss implements core.Task: the logistic loss of one example.
+func (t *LR) Loss(w vector.Dense, e engine.Tuple) float64 {
+	wx := dotFeatures(w, e[ColVec])
+	z := -e[ColLabel].Float * wx
+	// log(1+e^z) computed stably.
+	if z > 30 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// RegPenalty implements core.Regularized.
+func (t *LR) RegPenalty(w vector.Dense) float64 {
+	if t.Mu == 0 {
+		return 0
+	}
+	n := w.Norm2()
+	return 0.5 * t.Mu * n * n
+}
+
+// Predict returns the probability that the example with features x is in
+// the positive class under model w.
+func (t *LR) Predict(w vector.Dense, x engine.Value) float64 {
+	return sigmoid(dotFeatures(w, x))
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

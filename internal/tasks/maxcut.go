@@ -1,0 +1,157 @@
+package tasks
+
+import (
+	"math"
+	"math/rand"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// MaxCut implements the paper's §5 future-work item — "handle large-scale
+// combinatorial optimization problems inside the RDBMS, including ...
+// fundamental NP-hard problems like MAX-CUT" — via the low-rank
+// (Burer–Monteiro) relaxation of the Goemans–Williamson SDP:
+//
+//	max Σ_{(i,j)∈E} w_ij (1 − v_iᵀv_j)/2   s.t. ‖v_i‖ = 1
+//
+// Each edge is one tuple (i, j, weight); the model stacks one R^k vector
+// per vertex; a gradient step on an edge pushes its endpoints apart
+// followed by the unit-sphere projection (the Appendix A proximal step).
+// RoundCut recovers a ±1 cut by random-hyperplane rounding.
+//
+// EdgeSchema reuses RatingSchema: (row=i, col=j, rating=weight).
+type MaxCut struct {
+	N, K int // number of vertices, relaxation rank
+}
+
+// NewMaxCut returns a MAX-CUT relaxation over n vertices at rank k.
+func NewMaxCut(n, k int) *MaxCut { return &MaxCut{N: n, K: k} }
+
+// Name implements core.Task.
+func (t *MaxCut) Name() string { return "MAXCUT" }
+
+// Dim implements core.Task.
+func (t *MaxCut) Dim() int { return t.N * t.K }
+
+// InitModel implements core.Initializer: random unit vectors per vertex.
+func (t *MaxCut) InitModel(seed int64) vector.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	w := vector.NewDense(t.Dim())
+	for v := 0; v < t.N; v++ {
+		var norm float64
+		off := v * t.K
+		for q := 0; q < t.K; q++ {
+			w[off+q] = rng.NormFloat64()
+			norm += w[off+q] * w[off+q]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			w[off] = 1
+			continue
+		}
+		for q := 0; q < t.K; q++ {
+			w[off+q] /= norm
+		}
+	}
+	return w
+}
+
+// Step implements core.Task: minimize w_ij·v_iᵀv_j (equivalently maximize
+// the cut), then renormalize both endpoint vectors.
+func (t *MaxCut) Step(m core.Model, e engine.Tuple, alpha float64) {
+	i, j, wt := int(e[0].Int), int(e[1].Int), e[2].Float
+	oi, oj := i*t.K, j*t.K
+	vi := make([]float64, t.K)
+	vj := make([]float64, t.K)
+	for q := 0; q < t.K; q++ {
+		vi[q], vj[q] = m.Get(oi+q), m.Get(oj+q)
+	}
+	// d/dv_i of wt·v_i·v_j = wt·v_j; descend.
+	for q := 0; q < t.K; q++ {
+		m.Add(oi+q, -alpha*wt*vj[q])
+		m.Add(oj+q, -alpha*wt*vi[q])
+	}
+	t.renorm(m, i)
+	t.renorm(m, j)
+}
+
+func (t *MaxCut) renorm(m core.Model, v int) {
+	off := v * t.K
+	var norm float64
+	for q := 0; q < t.K; q++ {
+		x := m.Get(off + q)
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return
+	}
+	for q := 0; q < t.K; q++ {
+		x := m.Get(off + q)
+		m.Add(off+q, x/norm-x)
+	}
+}
+
+// Loss implements core.Task: the edge's contribution to the NEGATED cut,
+// wt·(1 + v_iᵀv_j)/2 — lower is a larger cut, so the shared minimizing
+// trainer machinery applies unchanged.
+func (t *MaxCut) Loss(w vector.Dense, e engine.Tuple) float64 {
+	i, j, wt := int(e[0].Int), int(e[1].Int), e[2].Float
+	oi, oj := i*t.K, j*t.K
+	var dot float64
+	for q := 0; q < t.K; q++ {
+		dot += w[oi+q] * w[oj+q]
+	}
+	return wt * (1 + dot) / 2
+}
+
+// RoundCut converts the relaxed solution into a ±1 assignment by random
+// hyperplane rounding, returning the best of `trials` roundings evaluated
+// against the edge table.
+func (t *MaxCut) RoundCut(w vector.Dense, edges *engine.Table, trials int, seed int64) ([]int8, float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var bestCut []int8
+	bestVal := math.Inf(-1)
+	for trial := 0; trial < trials; trial++ {
+		r := make([]float64, t.K)
+		for q := range r {
+			r[q] = rng.NormFloat64()
+		}
+		cut := make([]int8, t.N)
+		for v := 0; v < t.N; v++ {
+			var s float64
+			off := v * t.K
+			for q := 0; q < t.K; q++ {
+				s += w[off+q] * r[q]
+			}
+			if s >= 0 {
+				cut[v] = 1
+			} else {
+				cut[v] = -1
+			}
+		}
+		val, err := CutValue(cut, edges)
+		if err != nil {
+			return nil, 0, err
+		}
+		if val > bestVal {
+			bestVal, bestCut = val, cut
+		}
+	}
+	return bestCut, bestVal, nil
+}
+
+// CutValue sums the weight of edges crossing the cut.
+func CutValue(cut []int8, edges *engine.Table) (float64, error) {
+	var val float64
+	err := edges.Scan(func(tp engine.Tuple) error {
+		i, j, wt := int(tp[0].Int), int(tp[1].Int), tp[2].Float
+		if cut[i] != cut[j] {
+			val += wt
+		}
+		return nil
+	})
+	return val, err
+}

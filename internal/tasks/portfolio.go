@@ -1,0 +1,70 @@
+package tasks
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Portfolio is the constrained mean-risk optimization of Figure 1:
+//
+//	min_w  risk − γ·return  subject to  w ∈ ∆ (the probability simplex).
+//
+// The paper writes the objective with the covariance Σ and mean p of the
+// returns; over sampled return observations r_i we use the separable
+// second-moment form
+//
+//	f_i(w) = λ(wᵀr_i)² − γ·wᵀr_i
+//
+// whose expectation is λ·wᵀE[rrᵀ]w − γ·wᵀp, exercising the same IGD +
+// per-step simplex projection code path (Eq. 3 with Π_∆).
+type Portfolio struct {
+	D      int     // number of assets
+	Lambda float64 // risk aversion (defaults to 1 when 0)
+	Gamma  float64 // return weight (defaults to 1 when 0)
+}
+
+// NewPortfolio returns a portfolio task over d assets.
+func NewPortfolio(d int) *Portfolio { return &Portfolio{D: d, Lambda: 1, Gamma: 1} }
+
+// Name implements core.Task.
+func (t *Portfolio) Name() string { return "PORT" }
+
+// Dim implements core.Task.
+func (t *Portfolio) Dim() int { return t.D }
+
+// InitModel implements core.Initializer: the uniform allocation 1/d, which
+// lies in the simplex.
+func (t *Portfolio) InitModel(int64) vector.Dense {
+	w := vector.NewDense(t.D)
+	for i := range w {
+		w[i] = 1 / float64(t.D)
+	}
+	return w
+}
+
+// Step implements core.Task: gradient step followed by projection onto ∆.
+// The projection needs the whole model, so this task requires a dense or
+// locked model (it snapshots otherwise).
+func (t *Portfolio) Step(m core.Model, e engine.Tuple, alpha float64) {
+	r := e[1]
+	wr := dotModel(m, r)
+	c := -alpha * (2*t.Lambda*wr - t.Gamma)
+	axpyModel(m, r, c)
+	if dm, ok := m.(*core.DenseModel); ok {
+		core.ProjectSimplex(dm.W)
+		return
+	}
+	// Generic path: project a snapshot and write it back.
+	w := m.Snapshot()
+	core.ProjectSimplex(w)
+	for i, x := range w {
+		m.Add(i, x-m.Get(i))
+	}
+}
+
+// Loss implements core.Task.
+func (t *Portfolio) Loss(w vector.Dense, e engine.Tuple) float64 {
+	wr := dotFeatures(w, e[1])
+	return t.Lambda*wr*wr - t.Gamma*wr
+}

@@ -1,0 +1,145 @@
+package tasks
+
+import (
+	"math"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// Softmax is multinomial (multiclass) logistic regression:
+//
+//	min_W Σ_i [ log Σ_c exp(w_cᵀx_i) − w_{y_i}ᵀx_i ]
+//
+// over K classes; the flattened model stores the K class vectors
+// consecutively (w_c at offset c·D). The label column holds the class index
+// as a float. This is one of the "more sophisticated models" the paper's
+// §5 points to — it drops into the same architecture unchanged.
+type Softmax struct {
+	D, K int
+}
+
+// NewSoftmax returns a K-class softmax regression over d features.
+func NewSoftmax(d, k int) *Softmax { return &Softmax{D: d, K: k} }
+
+// Name implements core.Task.
+func (t *Softmax) Name() string { return "SOFTMAX" }
+
+// Dim implements core.Task.
+func (t *Softmax) Dim() int { return t.D * t.K }
+
+// classDot computes w_cᵀx through the model.
+func (t *Softmax) classDot(m core.Model, v engine.Value, c int) float64 {
+	off := c * t.D
+	var s float64
+	if v.Type == engine.TSparseVec {
+		for k, i := range v.Sparse.Idx {
+			if int(i) < t.D {
+				s += m.Get(off+int(i)) * v.Sparse.Val[k]
+			}
+		}
+		return s
+	}
+	for i, x := range v.Dense {
+		s += m.Get(off+i) * x
+	}
+	return s
+}
+
+// axpyClass performs w_c += cst·x through the model.
+func (t *Softmax) axpyClass(m core.Model, v engine.Value, c int, cst float64) {
+	off := c * t.D
+	if v.Type == engine.TSparseVec {
+		for k, i := range v.Sparse.Idx {
+			if int(i) < t.D {
+				m.Add(off+int(i), cst*v.Sparse.Val[k])
+			}
+		}
+		return
+	}
+	for i, x := range v.Dense {
+		m.Add(off+i, cst*x)
+	}
+}
+
+// probs returns the class probabilities for the example under the model.
+func (t *Softmax) probs(m core.Model, v engine.Value) []float64 {
+	z := make([]float64, t.K)
+	mx := math.Inf(-1)
+	for c := 0; c < t.K; c++ {
+		z[c] = t.classDot(m, v, c)
+		if z[c] > mx {
+			mx = z[c]
+		}
+	}
+	var sum float64
+	for c := range z {
+		z[c] = math.Exp(z[c] - mx)
+		sum += z[c]
+	}
+	for c := range z {
+		z[c] /= sum
+	}
+	return z
+}
+
+// Step implements core.Task: w_c += α(1{c=y} − p_c)·x for every class.
+func (t *Softmax) Step(m core.Model, e engine.Tuple, alpha float64) {
+	x, y := e[ColVec], int(e[ColLabel].Float)
+	p := t.probs(m, x)
+	for c := 0; c < t.K; c++ {
+		g := -p[c]
+		if c == y {
+			g++
+		}
+		if g != 0 {
+			t.axpyClass(m, x, c, alpha*g)
+		}
+	}
+}
+
+// Loss implements core.Task: the example's cross-entropy.
+func (t *Softmax) Loss(w vector.Dense, e engine.Tuple) float64 {
+	x, y := e[ColVec], int(e[ColLabel].Float)
+	z := make([]float64, t.K)
+	for c := 0; c < t.K; c++ {
+		off := c * t.D
+		if x.Type == engine.TSparseVec {
+			for k, i := range x.Sparse.Idx {
+				if int(i) < t.D {
+					z[c] += w[off+int(i)] * x.Sparse.Val[k]
+				}
+			}
+		} else {
+			for i, v := range x.Dense {
+				z[c] += w[off+i] * v
+			}
+		}
+	}
+	return logSumExp(z) - z[y]
+}
+
+// Predict returns the most probable class for the example under model w.
+func (t *Softmax) Predict(w vector.Dense, x engine.Value) int {
+	best, arg := math.Inf(-1), 0
+	for c := 0; c < t.K; c++ {
+		off := c * t.D
+		var s float64
+		if x.Type == engine.TSparseVec {
+			for k, i := range x.Sparse.Idx {
+				if int(i) < t.D {
+					s += w[off+int(i)] * x.Sparse.Val[k]
+				}
+			}
+		} else {
+			for i, v := range x.Dense {
+				s += w[off+i] * v
+			}
+		}
+		if s > best {
+			best, arg = s, c
+		}
+	}
+	return arg
+}

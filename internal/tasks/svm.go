@@ -1,0 +1,60 @@
+package tasks
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// SVM is a linear support vector machine trained on the hinge loss:
+//
+//	min_w Σ_i (1 − y_i·wᵀx_i)₊ + (µ/2)‖w‖²
+//
+// Note how little it differs from LR (the paper's Figure 4): the step only
+// fires when the example violates the margin.
+type SVM struct {
+	D  int     // feature dimension
+	Mu float64 // L2 regularization strength (0 disables)
+}
+
+// NewSVM returns a linear SVM task over d features.
+func NewSVM(d int) *SVM { return &SVM{D: d} }
+
+// Name implements core.Task.
+func (t *SVM) Name() string { return "SVM" }
+
+// Dim implements core.Task.
+func (t *SVM) Dim() int { return t.D }
+
+// Step implements core.Task.
+func (t *SVM) Step(m core.Model, e engine.Tuple, alpha float64) {
+	x, y := e[ColVec], e[ColLabel].Float
+	wx := dotModel(m, x)
+	shrinkTouched(m, x, alpha*t.Mu)
+	if 1-wx*y > 0 {
+		axpyModel(m, x, alpha*y)
+	}
+}
+
+// Loss implements core.Task: the hinge loss of one example.
+func (t *SVM) Loss(w vector.Dense, e engine.Tuple) float64 {
+	wx := dotFeatures(w, e[ColVec])
+	if l := 1 - e[ColLabel].Float*wx; l > 0 {
+		return l
+	}
+	return 0
+}
+
+// RegPenalty implements core.Regularized.
+func (t *SVM) RegPenalty(w vector.Dense) float64 {
+	if t.Mu == 0 {
+		return 0
+	}
+	n := w.Norm2()
+	return 0.5 * t.Mu * n * n
+}
+
+// Predict returns the signed margin wᵀx; its sign is the predicted class.
+func (t *SVM) Predict(w vector.Dense, x engine.Value) float64 {
+	return dotFeatures(w, x)
+}

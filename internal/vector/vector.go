@@ -1,0 +1,228 @@
+// Package vector provides the dense and sparse float64 vector kernels used
+// by every gradient computation in Bismarck: dot products, scaled additions
+// (the paper's Scale_And_Add), norms, and conversions.
+//
+// Sparse vectors are stored in coordinate form (sorted index/value pairs),
+// matching the "sparse-vector format" the paper uses for DBLife, CoNLL and
+// DBLP. Dense vectors are plain []float64.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dense is a dense float64 vector.
+type Dense []float64
+
+// NewDense returns a zero dense vector of dimension d.
+func NewDense(d int) Dense { return make(Dense, d) }
+
+// Dim returns the dimension of v.
+func (v Dense) Dim() int { return len(v) }
+
+// Clone returns a copy of v.
+func (v Dense) Clone() Dense {
+	w := make(Dense, len(v))
+	copy(w, v)
+	return w
+}
+
+// Zero sets every component of v to 0 in place.
+func (v Dense) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Dot returns the inner product of two dense vectors of equal dimension.
+func Dot(a, b Dense) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: Dot dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Axpy performs w += c*x for dense x (the paper's Scale_And_Add).
+func Axpy(w Dense, x Dense, c float64) {
+	if len(w) != len(x) {
+		panic(fmt.Sprintf("vector: Axpy dimension mismatch %d vs %d", len(w), len(x)))
+	}
+	for i, xi := range x {
+		w[i] += c * xi
+	}
+}
+
+// Scale multiplies every component of w by c in place.
+func (v Dense) Scale(c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// AddScaled returns nothing; it performs v += c*u where u may be shorter than
+// v (extra components of v are untouched). Used by model averaging.
+func (v Dense) AddScaled(u Dense, c float64) {
+	for i, ui := range u {
+		v[i] += c * ui
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Dense) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Dense) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the max-abs norm of v.
+func (v Dense) NormInf() float64 {
+	var s float64
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b Dense) float64 {
+	if len(a) != len(b) {
+		panic("vector: Dist2 dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sparse is a sparse vector in coordinate form. Idx is sorted ascending and
+// has no duplicates; Val[i] is the value at dimension Idx[i].
+type Sparse struct {
+	Idx []int32
+	Val []float64
+}
+
+// NewSparse builds a sparse vector from parallel index/value slices, sorting
+// and deduplicating (later duplicates win). It copies its inputs.
+func NewSparse(idx []int32, val []float64) Sparse {
+	if len(idx) != len(val) {
+		panic("vector: NewSparse len(idx) != len(val)")
+	}
+	type pair struct {
+		i int32
+		v float64
+	}
+	ps := make([]pair, len(idx))
+	for k := range idx {
+		ps[k] = pair{idx[k], val[k]}
+	}
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
+	out := Sparse{Idx: make([]int32, 0, len(ps)), Val: make([]float64, 0, len(ps))}
+	for _, p := range ps {
+		if n := len(out.Idx); n > 0 && out.Idx[n-1] == p.i {
+			out.Val[n-1] = p.v
+			continue
+		}
+		out.Idx = append(out.Idx, p.i)
+		out.Val = append(out.Val, p.v)
+	}
+	return out
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s Sparse) NNZ() int { return len(s.Idx) }
+
+// MaxIdx returns the largest stored index plus one (a lower bound on the
+// dimension), or 0 for an empty vector.
+func (s Sparse) MaxIdx() int {
+	if len(s.Idx) == 0 {
+		return 0
+	}
+	return int(s.Idx[len(s.Idx)-1]) + 1
+}
+
+// Clone returns a deep copy of s.
+func (s Sparse) Clone() Sparse {
+	return Sparse{
+		Idx: append([]int32(nil), s.Idx...),
+		Val: append([]float64(nil), s.Val...),
+	}
+}
+
+// DotSparse returns the inner product of a dense vector w and a sparse
+// vector x. Indices of x beyond the dimension of w contribute zero.
+func DotSparse(w Dense, x Sparse) float64 {
+	var s float64
+	d := len(w)
+	for k, i := range x.Idx {
+		if int(i) < d {
+			s += w[i] * x.Val[k]
+		}
+	}
+	return s
+}
+
+// AxpySparse performs w += c*x for sparse x. Indices beyond the dimension of
+// w are ignored.
+func AxpySparse(w Dense, x Sparse, c float64) {
+	d := len(w)
+	for k, i := range x.Idx {
+		if int(i) < d {
+			w[i] += c * x.Val[k]
+		}
+	}
+}
+
+// Norm2 returns the Euclidean norm of the sparse vector.
+func (s Sparse) Norm2() float64 {
+	var t float64
+	for _, v := range s.Val {
+		t += v * v
+	}
+	return math.Sqrt(t)
+}
+
+// ToDense expands s into a dense vector of dimension d. Entries at or beyond
+// d are dropped.
+func (s Sparse) ToDense(d int) Dense {
+	w := NewDense(d)
+	for k, i := range s.Idx {
+		if int(i) < d {
+			w[i] = s.Val[k]
+		}
+	}
+	return w
+}
+
+// FromDense converts a dense vector into sparse form, keeping entries whose
+// absolute value exceeds eps.
+func FromDense(v Dense, eps float64) Sparse {
+	var s Sparse
+	for i, x := range v {
+		if math.Abs(x) > eps {
+			s.Idx = append(s.Idx, int32(i))
+			s.Val = append(s.Val, x)
+		}
+	}
+	return s
+}
