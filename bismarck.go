@@ -35,8 +35,14 @@ import (
 	"bismarck/internal/ordering"
 	"bismarck/internal/parallel"
 	"bismarck/internal/sampling"
+	"bismarck/internal/spec"
+	"bismarck/internal/sqlish"
 	"bismarck/internal/tasks"
 	"bismarck/internal/vector"
+
+	// Side effect: the built-in tasks self-register with the statement
+	// layer's registry.
+	_ "bismarck/internal/tasks/register"
 )
 
 // --- vectors ---
@@ -253,6 +259,36 @@ type (
 
 // NewReservoir returns a reservoir of the given capacity.
 var NewReservoir = sampling.NewReservoir
+
+// --- the declarative statement layer (§2.1) ---
+
+type (
+	// Statement is the parsed AST of one declarative statement
+	// (SELECT ... TO TRAIN/PREDICT/EVALUATE, or a legacy SELECT Func(...)).
+	Statement = spec.Statement
+	// TaskSpec is one task's registration with the statement layer:
+	// constructor, canonical data layout, and tunable WITH-parameters.
+	TaskSpec = spec.TaskSpec
+	// ParamSpec declares one tunable WITH parameter of a task.
+	ParamSpec = spec.ParamSpec
+	// Params holds bound, type-checked WITH parameters.
+	Params = spec.Params
+	// Session executes declarative statements against a catalog.
+	Session = sqlish.Session
+)
+
+// ParseStatement parses one statement of the declarative grammar.
+func ParseStatement(src string) (*Statement, error) { return spec.Parse(src) }
+
+// RegisterTask adds a task to the statement layer's registry, making it
+// reachable as TO TRAIN <name>; the 10 built-in tasks self-register.
+func RegisterTask(ts TaskSpec) { spec.Register(ts) }
+
+// LookupTask resolves a registered task name or alias.
+func LookupTask(name string) (*TaskSpec, error) { return spec.Lookup(name) }
+
+// RegisteredTasks lists all registered task specs sorted by name.
+func RegisteredTasks() []*TaskSpec { return spec.Tasks() }
 
 // --- baselines ---
 

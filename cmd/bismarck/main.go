@@ -1,11 +1,14 @@
-// Command bismarck is the MADlib-style front end of §2.1: it executes
-// statements like
+// Command bismarck is the declarative front end of §2.1: a REPL (or
+// one-shot runner) for the SQLFlow-style statement grammar, executed
+// against a file catalog created with the datagen command.
 //
-//	bismarck -data ./db "SELECT SVMTrain('myModel', 'papers', 'vec', 'label')"
-//	bismarck -data ./db "SELECT Predict('myModel', 'papers', 'vec')"
+//	bismarck -data ./db "SELECT vec, label FROM papers TO TRAIN svm WITH alpha=0.1 INTO myModel"
+//	bismarck -data ./db "SELECT * FROM papers TO PREDICT USING myModel"
+//	bismarck -data ./db            # interactive REPL; statements end with ';'
 //
-// against a file catalog created with the datagen command. Supported
-// functions: LRTrain, SVMTrain, LMFTrain, CRFTrain, Predict, Tables.
+// The legacy MADlib-style calls (SELECT SVMTrain('m','t','vec','label'))
+// keep working. SHOW TASKS lists every registered task and its WITH
+// parameters; SHOW TABLES lists the catalog.
 package main
 
 import (
@@ -13,16 +16,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bismarck/internal/engine"
+	"bismarck/internal/spec"
 	"bismarck/internal/sqlish"
 )
 
 func main() {
 	var (
 		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
-		epochs  = flag.Int("epochs", 20, "training epochs")
-		alpha   = flag.Float64("alpha", 0.1, "initial step size")
+		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
+		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
 	)
 	flag.Parse()
 
@@ -31,37 +36,89 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
 		os.Exit(1)
 	}
-	defer cat.Close()
 
 	sess := &sqlish.Session{Cat: cat, Out: os.Stdout, Epochs: *epochs, Alpha: *alpha}
 
-	runOne := func(stmt string) {
-		if err := sess.Exec(stmt); err != nil {
-			fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
+	status := 0
 	if flag.NArg() > 0 {
 		for _, stmt := range flag.Args() {
-			runOne(stmt)
+			if err := sess.Exec(stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
+				status = 1
+				break
+			}
 		}
 	} else {
-		// REPL over stdin.
-		sc := bufio.NewScanner(os.Stdin)
-		fmt.Println("bismarck> enter statements, one per line (Ctrl-D to quit)")
-		for sc.Scan() {
-			line := sc.Text()
-			if line == "" {
-				continue
-			}
-			if err := sess.Exec(line); err != nil {
-				fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			}
-		}
+		repl(sess)
 	}
+	// Save even after a failed statement: earlier statements in the same
+	// invocation may have created tables that must reach catalog.json.
 	if err := cat.Save(); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarck: saving catalog: %v\n", err)
-		os.Exit(1)
+		status = 1
+	}
+	if err := cat.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bismarck: closing catalog: %v\n", err)
+		status = 1
+	}
+	os.Exit(status)
+}
+
+// repl reads statements from stdin, accumulating lines until a statement
+// is terminated with ';' (a lone blank line also submits).
+func repl(sess *sqlish.Session) {
+	fmt.Println(`bismarck> statements end with ';'. Try SHOW TASKS; or SHOW TABLES; (Ctrl-D quits)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("bismarck> ")
+		} else {
+			fmt.Print("     ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case buf.Len() == 0 && trimmed == "":
+			// skip leading blank lines
+		case buf.Len() == 0 && (strings.EqualFold(trimmed, "help") || trimmed == "\\h"):
+			fmt.Println("statements:")
+			fmt.Println("  SELECT cols FROM t [WHERE ...] TO TRAIN task [WITH k=v,...] [COLUMN ...] [LABEL c] INTO model;")
+			fmt.Println("  SELECT cols FROM t TO PREDICT [WITH threshold=x] [INTO out] USING model;")
+			fmt.Println("  SELECT cols FROM t TO EVALUATE USING model;")
+			fmt.Println("  SHOW TASKS;  SHOW TABLES;")
+		default:
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+				text := buf.String()
+				buf.Reset()
+				execAll(sess, text)
+			}
+		}
+		prompt()
+	}
+	if err := sc.Err(); err != nil {
+		// A scanner error may have truncated the buffered statement —
+		// report it rather than executing a partial statement.
+		fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
+	} else {
+		// Don't silently drop a final statement missing its ';' at EOF.
+		execAll(sess, buf.String())
+	}
+	fmt.Println()
+}
+
+// execAll splits the buffered text into ';'-terminated statements
+// (respecting quoted strings and -- comments) and executes each.
+func execAll(sess *sqlish.Session, text string) {
+	for _, stmt := range spec.SplitStatements(text) {
+		if err := sess.Exec(stmt); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
 	}
 }

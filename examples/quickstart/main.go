@@ -1,19 +1,25 @@
-// Quickstart: train a logistic regression classifier end-to-end with the
-// Bismarck public API — build a table, run the IGD trainer with
-// shuffle-once ordering, evaluate accuracy.
+// Quickstart: train, evaluate, and predict with the declarative statement
+// API — build a catalog table, then drive everything through SQLFlow-style
+// extended SQL. The same statement grammar selects the trainer (sequential
+// or parallel) purely via WITH knobs.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"bismarck"
 )
 
 func main() {
-	// 1. Create a table of labeled examples: (id, vec, label).
-	tbl := bismarck.NewMemTable("train", bismarck.DenseExampleSchema)
+	// 1. Create a catalog with a table of labeled examples: (id, vec, label).
+	cat := bismarck.NewCatalog()
+	tbl, err := cat.Create("train", bismarck.DenseExampleSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	const n, d = 2000, 10
 	truth := make(bismarck.Dense, d)
@@ -41,35 +47,45 @@ func main() {
 		}
 	}
 
-	// 2. Train: logistic regression via incremental gradient descent,
-	// expressed as a user-defined aggregate over the table.
-	task := bismarck.NewLR(d)
-	trainer := &bismarck.Trainer{
-		Task:      task,
-		Step:      bismarck.DefaultStep(0.2),
-		MaxEpochs: 25,
-		RelTol:    1e-4,
-		Order:     bismarck.ShuffleOnce{},
-		Seed:      1,
+	// 2. Open a session and train declaratively: logistic regression via
+	// IGD, with the step rule, ordering, and convergence tolerance all
+	// selected in the WITH clause.
+	sess := &bismarck.Session{Cat: cat, Out: os.Stdout}
+	run := func(stmt string) {
+		fmt.Printf("sql> %s\n", stmt)
+		if err := sess.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
 	}
-	res, err := trainer.Run(tbl)
+	run(`SELECT vec, label FROM train
+	     TO TRAIN lr
+	     WITH alpha=0.2, epochs=25, tol=0.0001, order=shuffle_once
+	     INTO lr_model;`)
+
+	// 3. Evaluate and predict through the same grammar.
+	run(`SELECT * FROM train TO EVALUATE USING lr_model;`)
+	run(`SELECT * FROM train TO PREDICT INTO scores USING lr_model;`)
+
+	// 4. The identical statement shape drives the parallel trainer — only
+	// the WITH knobs change (Hogwild over 4 workers).
+	run(`SELECT vec, label FROM train
+	     TO TRAIN svm
+	     WITH alpha=0.2, epochs=25, parallel=nolock, workers=4
+	     INTO svm_model;`)
+	run(`SELECT * FROM train TO EVALUATE USING svm_model;`)
+
+	// 5. Trained models persist as plain user tables.
+	scores, err := cat.Get("scores")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained %s in %d epochs (%.1fms), final loss %.2f\n",
-		task.Name(), res.Epochs, float64(res.Total.Microseconds())/1000, res.FinalLoss())
-
-	// 3. Evaluate on the training table.
-	correct := 0
-	err = tbl.Scan(func(tp bismarck.Tuple) error {
-		p := task.Predict(res.Model, tp[1])
-		if (p > 0.5) == (tp[2].Float > 0) {
-			correct++
+	fmt.Printf("scores table holds %d rows, e.g.:\n", scores.NumRows())
+	shown := 0
+	scores.Scan(func(tp bismarck.Tuple) error {
+		if shown < 3 {
+			fmt.Printf("  id %4d  P(label=+1) = %.4f\n", tp[0].Int, tp[1].Float)
+			shown++
 		}
 		return nil
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("training accuracy: %d/%d = %.1f%%\n", correct, n, 100*float64(correct)/n)
 }

@@ -1,0 +1,3 @@
+module bismarck
+
+go 1.24

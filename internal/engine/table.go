@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -223,7 +224,9 @@ func (c *Catalog) Get(name string) (*Table, error) {
 	return t, nil
 }
 
-// Drop removes and closes a table.
+// Drop removes and closes a table, deleting its backing heap file — a
+// dropped-then-recreated table must come back empty, not reopen its old
+// rows from disk.
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -232,7 +235,14 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("engine: no table %q", name)
 	}
 	delete(c.tables, name)
-	return t.Close()
+	err := t.Close()
+	if c.dir != "" {
+		if rmErr := os.Remove(filepath.Join(c.dir, name+".heap")); rmErr != nil &&
+			!os.IsNotExist(rmErr) && err == nil {
+			err = rmErr
+		}
+	}
+	return err
 }
 
 // Names returns the sorted table names.

@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token classes.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // ( ) , ; * = != < <= > >=
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind  tokKind
+	text  string  // ident (as written), symbol, or raw number text
+	str   string  // decoded string payload for tokString
+	num   float64 // tokNumber payload
+	isInt bool
+	ival  int64
+	pos   int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of statement"
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes one statement. Strings are single-quoted with ” (SQL
+// style) or \' as the escaped quote; -- comments run to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n && src[i+1] == '\'' {
+					b.WriteByte('\'')
+					i += 2
+					continue
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // '' escape
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("spec: unterminated string starting at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: src[start:i], str: b.String(), pos: start})
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' ||
+				src[i] == 'e' || src[i] == 'E' ||
+				(src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E')) {
+				i++
+			}
+			text := src[start:i]
+			tk := token{kind: tokNumber, text: text, pos: start}
+			if iv, err := strconv.ParseInt(text, 10, 64); err == nil {
+				tk.isInt = true
+				tk.ival = iv
+				tk.num = float64(iv)
+			} else if fv, err := strconv.ParseFloat(text, 64); err == nil {
+				tk.num = fv
+			} else {
+				return nil, fmt.Errorf("spec: bad number %q at offset %d", text, start)
+			}
+			toks = append(toks, tk)
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], pos: start})
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				if two == "!=" || two == "<=" || two == ">=" || two == "<>" {
+					if two == "<>" {
+						two = "!="
+					}
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', '*', '=', '<', '>', '-', '+':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("spec: unexpected character %q at offset %d", c, start)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// SplitStatements cuts a multi-statement text buffer at ';' boundaries
+// using the lexer itself, so semicolons inside quoted strings or behind
+// "--" comments never split, and pieces holding no statement text (blank
+// or comment-only) are dropped. On a lexical error the whole buffer is
+// returned as one piece for Parse to diagnose.
+func SplitStatements(text string) []string {
+	toks, err := lex(text)
+	if err != nil {
+		if strings.TrimSpace(text) == "" {
+			return nil
+		}
+		return []string{strings.TrimSpace(text)}
+	}
+	var out []string
+	start := 0
+	content := false
+	for _, t := range toks {
+		switch {
+		case t.kind == tokEOF:
+			if content {
+				out = append(out, strings.TrimSpace(text[start:]))
+			}
+		case t.kind == tokSymbol && t.text == ";":
+			if content {
+				out = append(out, strings.TrimSpace(text[start:t.pos+1]))
+			}
+			start = t.pos + 1
+			content = false
+		default:
+			content = true
+		}
+	}
+	return out
+}

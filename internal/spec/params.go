@@ -1,0 +1,211 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParamKind types a WITH parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// PInt is an integer parameter.
+	PInt ParamKind = iota + 1
+	// PFloat is a float parameter (integer literals are accepted).
+	PFloat
+	// PString is a free-form string parameter.
+	PString
+	// PEnum is a string parameter restricted to Enum values.
+	PEnum
+)
+
+// String implements fmt.Stringer.
+func (k ParamKind) String() string {
+	switch k {
+	case PInt:
+		return "int"
+	case PFloat:
+		return "float"
+	case PString:
+		return "string"
+	case PEnum:
+		return "enum"
+	}
+	return fmt.Sprintf("ParamKind(%d)", int(k))
+}
+
+// ParamSpec declares one tunable WITH parameter: its key, type, optional
+// default, and (for enums) the allowed values.
+type ParamSpec struct {
+	Key  string
+	Kind ParamKind
+	// Default, when non-nil, is bound when the statement omits the key.
+	Default *Literal
+	// Enum lists the allowed values of a PEnum parameter.
+	Enum []string
+	// Help is a one-line description shown by SHOW TASKS.
+	Help string
+}
+
+// IntDefault builds an int ParamSpec with a default value.
+func IntDefault(key string, def int64, help string) ParamSpec {
+	d := IntLit(def)
+	return ParamSpec{Key: key, Kind: PInt, Default: &d, Help: help}
+}
+
+// IntParam builds a required-or-inferred int ParamSpec (no default).
+func IntParam(key, help string) ParamSpec {
+	return ParamSpec{Key: key, Kind: PInt, Help: help}
+}
+
+// FloatDefault builds a float ParamSpec with a default value.
+func FloatDefault(key string, def float64, help string) ParamSpec {
+	d := FloatLit(def)
+	return ParamSpec{Key: key, Kind: PFloat, Default: &d, Help: help}
+}
+
+// FloatParam builds a float ParamSpec without a default.
+func FloatParam(key, help string) ParamSpec {
+	return ParamSpec{Key: key, Kind: PFloat, Help: help}
+}
+
+// EnumParam builds a PEnum ParamSpec whose default is the first value.
+func EnumParam(key string, values []string, help string) ParamSpec {
+	d := IdentLit(values[0])
+	return ParamSpec{Key: key, Kind: PEnum, Default: &d, Enum: values, Help: help}
+}
+
+// Params holds the bound, type-checked WITH parameters of one statement.
+type Params map[string]Literal
+
+// Has reports whether the key was bound (explicitly or by default).
+func (p Params) Has(key string) bool { _, ok := p[key]; return ok }
+
+// Int returns the key's integer value (0 when absent).
+func (p Params) Int(key string) int { return int(p[key].Int) }
+
+// Float returns the key's float value (0 when absent).
+func (p Params) Float(key string) float64 { return p[key].Num }
+
+// Str returns the key's string value ("" when absent).
+func (p Params) Str(key string) string { return p[key].Str }
+
+// Strings renders the bound params as a sorted, canonical key=value map,
+// used to persist model metadata.
+func (p Params) Strings() map[string]string {
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		switch v.Kind {
+		case LitNumber:
+			if v.IsInt {
+				out[k] = strconv.FormatInt(v.Int, 10)
+			} else {
+				out[k] = strconv.FormatFloat(v.Num, 'g', -1, 64)
+			}
+		default:
+			out[k] = v.Str
+		}
+	}
+	return out
+}
+
+// checkLiteral type-checks one literal against a spec, normalizing enum /
+// string idents.
+func checkLiteral(s ParamSpec, v Literal) (Literal, error) {
+	switch s.Kind {
+	case PInt:
+		if v.Kind != LitNumber || !v.IsInt {
+			return v, fmt.Errorf("spec: parameter %q wants an integer, got %s", s.Key, v)
+		}
+		return v, nil
+	case PFloat:
+		if v.Kind != LitNumber {
+			return v, fmt.Errorf("spec: parameter %q wants a number, got %s", s.Key, v)
+		}
+		return v, nil
+	case PString:
+		if _, ok := v.Text(); !ok {
+			return v, fmt.Errorf("spec: parameter %q wants a string, got %s", s.Key, v)
+		}
+		return v, nil
+	case PEnum:
+		txt, ok := v.Text()
+		if !ok {
+			return v, fmt.Errorf("spec: parameter %q wants one of %s, got %s",
+				s.Key, strings.Join(s.Enum, "|"), v)
+		}
+		txt = strings.ToLower(txt)
+		for _, e := range s.Enum {
+			if txt == e {
+				return IdentLit(txt), nil
+			}
+		}
+		return v, fmt.Errorf("spec: parameter %q wants one of %s, got %q",
+			s.Key, strings.Join(s.Enum, "|"), txt)
+	}
+	return v, fmt.Errorf("spec: parameter %q has unknown kind", s.Key)
+}
+
+// BindParams type-checks the given WITH pairs against the specs and fills
+// defaults. Unknown keys are an error listing the valid ones.
+func BindParams(specs []ParamSpec, with []Param) (Params, error) {
+	byKey := make(map[string]ParamSpec, len(specs))
+	for _, s := range specs {
+		byKey[s.Key] = s
+	}
+	out := make(Params, len(specs))
+	for _, pr := range with {
+		s, ok := byKey[pr.Key]
+		if !ok {
+			return nil, fmt.Errorf("spec: unknown parameter %q (valid: %s)",
+				pr.Key, strings.Join(paramKeys(specs), ", "))
+		}
+		v, err := checkLiteral(s, pr.Val)
+		if err != nil {
+			return nil, err
+		}
+		out[pr.Key] = v
+	}
+	for _, s := range specs {
+		if _, ok := out[s.Key]; !ok && s.Default != nil {
+			out[s.Key] = *s.Default
+		}
+	}
+	return out, nil
+}
+
+// RebindStrings re-binds persisted key=value strings (model metadata)
+// against the specs, recovering typed Params.
+func RebindStrings(specs []ParamSpec, kv map[string]string) (Params, error) {
+	with := make([]Param, 0, len(kv))
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		raw := kv[k]
+		var lit Literal
+		if iv, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			lit = IntLit(iv)
+		} else if fv, err := strconv.ParseFloat(raw, 64); err == nil {
+			lit = FloatLit(fv)
+		} else {
+			lit = IdentLit(raw)
+		}
+		with = append(with, Param{Key: k, Val: lit})
+	}
+	return BindParams(specs, with)
+}
+
+func paramKeys(specs []ParamSpec) []string {
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key
+	}
+	sort.Strings(keys)
+	return keys
+}

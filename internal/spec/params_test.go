@@ -1,0 +1,103 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func lrLikeSpecs() []ParamSpec {
+	return []ParamSpec{
+		IntParam("dim", "feature dimension"),
+		FloatDefault("mu", 0.5, "regularization"),
+		EnumParam("kernel", []string{"linear", "poly"}, "kernel"),
+	}
+}
+
+func TestBindParamsDefaultsAndTypes(t *testing.T) {
+	p, err := BindParams(lrLikeSpecs(), []Param{{Key: "dim", Val: IntLit(54)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Int("dim") != 54 {
+		t.Fatalf("dim: %d", p.Int("dim"))
+	}
+	if p.Float("mu") != 0.5 {
+		t.Fatalf("mu default: %g", p.Float("mu"))
+	}
+	if p.Str("kernel") != "linear" {
+		t.Fatalf("kernel default: %q", p.Str("kernel"))
+	}
+	// Floats accept integer literals.
+	p, err = BindParams(lrLikeSpecs(), []Param{{Key: "mu", Val: IntLit(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Float("mu") != 2 {
+		t.Fatalf("mu: %g", p.Float("mu"))
+	}
+}
+
+func TestBindParamsErrors(t *testing.T) {
+	cases := []struct {
+		with []Param
+		want string
+	}{
+		{[]Param{{Key: "nope", Val: IntLit(1)}}, "unknown parameter"},
+		{[]Param{{Key: "dim", Val: FloatLit(1.5)}}, "wants an integer"},
+		{[]Param{{Key: "dim", Val: StringLit("ten")}}, "wants an integer"},
+		{[]Param{{Key: "mu", Val: StringLit("a lot")}}, "wants a number"},
+		{[]Param{{Key: "kernel", Val: IdentLit("rbf")}}, "wants one of linear|poly"},
+		{[]Param{{Key: "kernel", Val: IntLit(3)}}, "wants one of"},
+	}
+	for _, c := range cases {
+		if _, err := BindParams(lrLikeSpecs(), c.with); err == nil ||
+			!strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%+v: error %v does not mention %q", c.with, err, c.want)
+		}
+	}
+}
+
+func TestRebindStringsRoundTrip(t *testing.T) {
+	p, err := BindParams(lrLikeSpecs(), []Param{
+		{Key: "dim", Val: IntLit(7)},
+		{Key: "mu", Val: FloatLit(0.25)},
+		{Key: "kernel", Val: IdentLit("poly")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := RebindStrings(lrLikeSpecs(), p.Strings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Int("dim") != 7 || back.Float("mu") != 0.25 || back.Str("kernel") != "poly" {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestSplitKnobsConflicts(t *testing.T) {
+	conflicts := [][]Param{
+		{{Key: KnobMRS, Val: IntLit(10)}, {Key: KnobReservoir, Val: IntLit(10)}},
+		{{Key: KnobMRS, Val: IntLit(10)}, {Key: KnobParallel, Val: IdentLit("nolock")}},
+		{{Key: KnobSolver, Val: IdentLit("irls")}, {Key: KnobParallel, Val: IdentLit("lock")}},
+	}
+	for _, with := range conflicts {
+		if _, _, err := SplitKnobs(with); err == nil {
+			t.Fatalf("%+v: expected a conflict error", with)
+		}
+	}
+	// Task-specific keys pass through untouched.
+	k, rest, err := SplitKnobs([]Param{
+		{Key: KnobAlpha, Val: FloatLit(0.3)},
+		{Key: "rank", Val: IntLit(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Alpha != 0.3 {
+		t.Fatalf("alpha: %g", k.Alpha)
+	}
+	if len(rest) != 1 || rest[0].Key != "rank" {
+		t.Fatalf("rest: %+v", rest)
+	}
+}

@@ -1,0 +1,499 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one statement of the declarative grammar (see the package
+// doc and README for the EBNF). Both the extended-SQL forms and the legacy
+// SELECT Func('arg', ...) calls are accepted; legacy calls lower into the
+// same Statement AST.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow one trailing semicolon.
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after statement: %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("spec: %s", fmt.Sprintf(format, args...))
+}
+
+// keyword reports whether the next token is the given keyword (idents are
+// case-insensitive) and consumes it when it is.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// accept consumes the next token when it is the given symbol.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, found %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.accept(sym) {
+		return p.errf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+// ident consumes and returns an identifier.
+func (p *parser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected %s, found %s", what, t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+// name consumes an identifier or a quoted string (table/model names may be
+// written either way).
+func (p *parser) name(what string) (string, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.i++
+		return t.text, nil
+	case tokString:
+		p.i++
+		return t.str, nil
+	}
+	return "", p.errf("expected %s, found %s", what, t)
+}
+
+// literal consumes one literal value: a string, a (signed) number, or a
+// bare word.
+func (p *parser) literal() (Literal, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.i++
+		return StringLit(t.str), nil
+	case t.kind == tokNumber:
+		p.i++
+		if t.isInt {
+			return IntLit(t.ival), nil
+		}
+		return FloatLit(t.num), nil
+	case t.kind == tokSymbol && (t.text == "-" || t.text == "+"):
+		sign := t.text
+		p.i++
+		num := p.peek()
+		if num.kind != tokNumber {
+			return Literal{}, p.errf("expected number after %q, found %s", sign, num)
+		}
+		p.i++
+		if sign == "-" {
+			if num.isInt {
+				return IntLit(-num.ival), nil
+			}
+			return FloatLit(-num.num), nil
+		}
+		if num.isInt {
+			return IntLit(num.ival), nil
+		}
+		return FloatLit(num.num), nil
+	case t.kind == tokIdent:
+		p.i++
+		return IdentLit(t.text), nil
+	}
+	return Literal{}, p.errf("expected a value, found %s", t)
+}
+
+// statement parses one full statement.
+func (p *parser) statement() (*Statement, error) {
+	switch {
+	case p.keyword("SHOW"):
+		switch {
+		case p.keyword("TABLES"):
+			return &Statement{Kind: KindShowTables}, nil
+		case p.keyword("TASKS"):
+			return &Statement{Kind: KindShowTasks}, nil
+		}
+		return nil, p.errf("expected TABLES or TASKS after SHOW, found %s", p.peek())
+	case p.keyword("SELECT"):
+		return p.selectStatement()
+	}
+	return nil, p.errf("expected SELECT or SHOW, found %s", p.peek())
+}
+
+// selectStatement parses everything after SELECT: either a legacy function
+// call or the extended select + TO clause.
+func (p *parser) selectStatement() (*Statement, error) {
+	// Legacy form: SELECT Ident ( args ) ;
+	if p.peek().kind == tokIdent && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+		return p.legacyCall()
+	}
+
+	st := &Statement{}
+	// Column list: * or ident[, ident...].
+	if p.accept("*") {
+		st.Select = []string{"*"}
+	} else {
+		for {
+			col, err := p.ident("a column name")
+			if err != nil {
+				return nil, err
+			}
+			st.Select = append(st.Select, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.name("a table name")
+	if err != nil {
+		return nil, err
+	}
+	st.From = tbl
+
+	if p.keyword("WHERE") {
+		if err := p.whereClause(st); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.keyword("TRAIN"):
+		st.Kind = KindTrain
+		task, err := p.name("a task name")
+		if err != nil {
+			return nil, err
+		}
+		st.Task = strings.ToLower(task)
+	case p.keyword("PREDICT"):
+		st.Kind = KindPredict
+	case p.keyword("EVALUATE"):
+		st.Kind = KindEvaluate
+	default:
+		return nil, p.errf("expected TRAIN, PREDICT or EVALUATE after TO, found %s", p.peek())
+	}
+
+	if err := p.tailClauses(st); err != nil {
+		return nil, err
+	}
+	return st, p.validate(st)
+}
+
+// tailClauses parses the trailing WITH / COLUMN / LABEL / USING / INTO
+// clauses in any order, each at most once.
+func (p *parser) tailClauses(st *Statement) error {
+	seen := map[string]bool{}
+	once := func(kw string) error {
+		if seen[kw] {
+			return p.errf("duplicate %s clause", kw)
+		}
+		seen[kw] = true
+		return nil
+	}
+	for {
+		switch {
+		case p.keyword("WITH"):
+			if err := once("WITH"); err != nil {
+				return err
+			}
+			for {
+				key, err := p.ident("a parameter name")
+				if err != nil {
+					return err
+				}
+				if err := p.expectSymbol("="); err != nil {
+					return err
+				}
+				val, err := p.literal()
+				if err != nil {
+					return err
+				}
+				key = strings.ToLower(key)
+				for _, prev := range st.With {
+					if prev.Key == key {
+						return p.errf("duplicate WITH parameter %q", key)
+					}
+				}
+				st.With = append(st.With, Param{Key: key, Val: val})
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.keyword("COLUMN") || p.keyword("COLUMNS"):
+			if err := once("COLUMN"); err != nil {
+				return err
+			}
+			for {
+				col, err := p.ident("a column name")
+				if err != nil {
+					return err
+				}
+				st.Columns = append(st.Columns, col)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.keyword("LABEL"):
+			if err := once("LABEL"); err != nil {
+				return err
+			}
+			col, err := p.name("a label column")
+			if err != nil {
+				return err
+			}
+			st.Label = col
+		case p.keyword("USING"):
+			if err := once("USING"); err != nil {
+				return err
+			}
+			m, err := p.name("a model name")
+			if err != nil {
+				return err
+			}
+			st.Model = m
+		case p.keyword("INTO"):
+			if err := once("INTO"); err != nil {
+				return err
+			}
+			m, err := p.name("a destination name")
+			if err != nil {
+				return err
+			}
+			st.Into = m
+		default:
+			return nil
+		}
+	}
+}
+
+// whereClause parses predicate [AND predicate]*.
+func (p *parser) whereClause(st *Statement) error {
+	for {
+		col, err := p.ident("a column name in WHERE")
+		if err != nil {
+			return err
+		}
+		t := p.peek()
+		if t.kind != tokSymbol {
+			return p.errf("expected a comparison operator, found %s", t)
+		}
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.i++
+		default:
+			return p.errf("unsupported operator %q in WHERE", t.text)
+		}
+		val, err := p.literal()
+		if err != nil {
+			return err
+		}
+		st.Where = append(st.Where, Predicate{Col: col, Op: t.text, Val: val})
+		if !p.keyword("AND") {
+			return nil
+		}
+	}
+}
+
+// validate checks clause/kind combinations the clause loop cannot.
+func (p *parser) validate(st *Statement) error {
+	switch st.Kind {
+	case KindTrain:
+		if st.Into == "" {
+			return p.errf("TO TRAIN requires INTO <model>")
+		}
+		if st.Model != "" {
+			return p.errf("TO TRAIN does not take USING")
+		}
+	case KindPredict, KindEvaluate:
+		if st.Model == "" {
+			return p.errf("TO %s requires USING <model>", st.Kind)
+		}
+		if st.Kind == KindEvaluate && st.Into != "" {
+			return p.errf("TO EVALUATE does not take INTO")
+		}
+	}
+	return nil
+}
+
+// --- legacy SELECT Func(...) lowering ---
+
+// legacyCall parses SELECT Func('a', 'b', 3) and lowers it into the
+// equivalent declarative Statement — the paper's §2.1 MADlib-style
+// interface, kept for back-compat.
+func (p *parser) legacyCall() (*Statement, error) {
+	fn, err := p.ident("a function name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var args []Literal
+	if !p.accept(")") {
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, lit)
+			if p.accept(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return lowerLegacy(fn, args)
+}
+
+// legacyArity describes one legacy function's shape.
+func lowerLegacy(fn string, args []Literal) (*Statement, error) {
+	argStr := func(i int) (string, error) {
+		s, ok := args[i].Text()
+		if !ok {
+			return "", fmt.Errorf("spec: %s: argument %d must be a string", fn, i+1)
+		}
+		return s, nil
+	}
+	argInt := func(i int, key string) (Param, error) {
+		if args[i].Kind != LitNumber || !args[i].IsInt {
+			return Param{}, fmt.Errorf("spec: %s: argument %d (%s) must be an integer", fn, i+1, key)
+		}
+		return Param{Key: key, Val: args[i]}, nil
+	}
+	need := func(n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("spec: %s needs %s", fn, usage)
+		}
+		return nil
+	}
+
+	switch strings.ToLower(fn) {
+	case "lrtrain", "svmtrain":
+		if err := need(4, "(model, table, vecCol, labelCol)"); err != nil {
+			return nil, err
+		}
+		model, err1 := argStr(0)
+		tbl, err2 := argStr(1)
+		vec, err3 := argStr(2)
+		label, err4 := argStr(3)
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, err
+		}
+		task := "svm"
+		if strings.EqualFold(fn, "lrtrain") {
+			task = "lr"
+		}
+		return &Statement{Kind: KindTrain, From: tbl, Task: task,
+			Columns: []string{vec}, Label: label, Into: model}, nil
+
+	case "lmftrain":
+		if err := need(5, "(model, table, rows, cols, rank)"); err != nil {
+			return nil, err
+		}
+		model, err1 := argStr(0)
+		tbl, err2 := argStr(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		var with []Param
+		for i, key := range []string{"rows", "cols", "rank"} {
+			pr, err := argInt(2+i, key)
+			if err != nil {
+				return nil, err
+			}
+			with = append(with, pr)
+		}
+		return &Statement{Kind: KindTrain, From: tbl, Task: "lmf", With: with, Into: model}, nil
+
+	case "crftrain":
+		if err := need(4, "(model, table, numFeatures, numLabels)"); err != nil {
+			return nil, err
+		}
+		model, err1 := argStr(0)
+		tbl, err2 := argStr(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		var with []Param
+		for i, key := range []string{"features", "labels"} {
+			pr, err := argInt(2+i, key)
+			if err != nil {
+				return nil, err
+			}
+			with = append(with, pr)
+		}
+		return &Statement{Kind: KindTrain, From: tbl, Task: "crf", With: with, Into: model}, nil
+
+	case "predict":
+		if err := need(3, "(model, table, vecCol)"); err != nil {
+			return nil, err
+		}
+		model, err1 := argStr(0)
+		tbl, err2 := argStr(1)
+		vec, err3 := argStr(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return &Statement{Kind: KindPredict, From: tbl, Columns: []string{vec}, Model: model}, nil
+
+	case "tables":
+		if err := need(0, "no arguments"); err != nil {
+			return nil, err
+		}
+		return &Statement{Kind: KindShowTables}, nil
+	}
+	return nil, fmt.Errorf("spec: unknown function %q", fn)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTrainFull(t *testing.T) {
+	st, err := Parse(`SELECT vec, label FROM papers
+		WHERE split = 'train' AND weight >= 0.5
+		TO TRAIN svm
+		WITH alpha=0.1, decay=0.9, step=geometric, epochs=30, tol=0.001,
+		     seed=7, order=shuffle_once, parallel=nolock, workers=4, mu=0.01
+		COLUMN vec
+		LABEL label
+		INTO myModel;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindTrain || st.Task != "svm" || st.From != "papers" || st.Into != "myModel" {
+		t.Fatalf("bad statement: %+v", st)
+	}
+	if len(st.Select) != 2 || st.Select[0] != "vec" || st.Select[1] != "label" {
+		t.Fatalf("select: %v", st.Select)
+	}
+	if len(st.Where) != 2 || st.Where[0].Col != "split" || st.Where[0].Op != "=" ||
+		st.Where[1].Col != "weight" || st.Where[1].Op != ">=" || st.Where[1].Val.Num != 0.5 {
+		t.Fatalf("where: %+v", st.Where)
+	}
+	if len(st.With) != 10 {
+		t.Fatalf("with: %+v", st.With)
+	}
+	if v, ok := st.WithValue("alpha"); !ok || v.Num != 0.1 {
+		t.Fatalf("alpha: %+v", v)
+	}
+	if v, ok := st.WithValue("workers"); !ok || !v.IsInt || v.Int != 4 {
+		t.Fatalf("workers: %+v", v)
+	}
+	if v, ok := st.WithValue("order"); !ok || v.Str != "shuffle_once" {
+		t.Fatalf("order: %+v", v)
+	}
+	if len(st.Columns) != 1 || st.Columns[0] != "vec" || st.Label != "label" {
+		t.Fatalf("columns/label: %v %q", st.Columns, st.Label)
+	}
+}
+
+// TestParseEveryKnob parses a statement carrying every uniform WITH knob
+// and checks it binds cleanly.
+func TestParseEveryKnob(t *testing.T) {
+	cases := map[string]string{
+		KnobAlpha:     "alpha=0.05",
+		KnobDecay:     "decay=0.9",
+		KnobStep:      "step=diminishing",
+		KnobEpochs:    "epochs=5",
+		KnobTol:       "tol=0.001",
+		KnobSeed:      "seed=42",
+		KnobOrder:     "order=shuffle_always",
+		KnobParallel:  "parallel=aig",
+		KnobWorkers:   "workers=2",
+		KnobMRS:       "mrs=100",
+		KnobReservoir: "reservoir=0",
+		KnobSolver:    "solver=igd",
+		KnobThreshold: "threshold=0.5",
+	}
+	for key, kv := range cases {
+		st, err := Parse("SELECT * FROM t TO TRAIN lr WITH " + kv + " INTO m")
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if _, ok := st.WithValue(key); !ok {
+			t.Fatalf("%s: knob not captured", key)
+		}
+		if _, _, err := SplitKnobs(st.With); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+	}
+}
+
+func TestParsePredictAndEvaluate(t *testing.T) {
+	st, err := Parse(`SELECT * FROM holdout TO PREDICT WITH threshold=0.7 INTO scores USING m;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindPredict || st.Model != "m" || st.Into != "scores" {
+		t.Fatalf("predict: %+v", st)
+	}
+	st, err = Parse(`SELECT row, col, rating FROM ratings WHERE fold = 0 TO EVALUATE USING mf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindEvaluate || st.Model != "mf" || len(st.Where) != 1 {
+		t.Fatalf("evaluate: %+v", st)
+	}
+}
+
+func TestParseShow(t *testing.T) {
+	for src, kind := range map[string]Kind{
+		"SHOW TABLES;":     KindShowTables,
+		"show tasks":       KindShowTasks,
+		"SELECT Tables();": KindShowTables,
+	} {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if st.Kind != kind {
+			t.Fatalf("%q: kind %v", src, st.Kind)
+		}
+	}
+}
+
+func TestParseLegacyLowering(t *testing.T) {
+	st, err := Parse(`SELECT SVMTrain('myModel', 'papers', 'vec', 'label');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindTrain || st.Task != "svm" || st.From != "papers" ||
+		st.Into != "myModel" || st.Label != "label" ||
+		len(st.Columns) != 1 || st.Columns[0] != "vec" {
+		t.Fatalf("lowered: %+v", st)
+	}
+
+	st, err = Parse(`SELECT LMFTrain('mf', 'ratings', 40, 30, 4)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Task != "lmf" {
+		t.Fatalf("task: %q", st.Task)
+	}
+	for key, want := range map[string]int64{"rows": 40, "cols": 30, "rank": 4} {
+		if v, ok := st.WithValue(key); !ok || v.Int != want {
+			t.Fatalf("%s: %+v", key, v)
+		}
+	}
+
+	st, err = Parse(`SELECT Predict('m', 'papers', 'vec')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindPredict || st.Model != "m" {
+		t.Fatalf("predict: %+v", st)
+	}
+}
+
+// TestParseQuotedCommas is the parseArgs regression: quoted arguments
+// containing commas (and escaped quotes) must survive intact.
+func TestParseQuotedCommas(t *testing.T) {
+	st, err := Parse(`SELECT SVMTrain('my,model', 'o''brien,''s table', 'vec', 'label')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Into != "my,model" {
+		t.Fatalf("model: %q", st.Into)
+	}
+	if st.From != "o'brien,'s table" {
+		t.Fatalf("table: %q", st.From)
+	}
+	// Backslash escapes work too.
+	st, err = Parse(`SELECT SVMTrain('it\'s', 't', 'v', 'l')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Into != "it's" {
+		t.Fatalf("model: %q", st.Into)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"DROP TABLE x":                                     "expected SELECT or SHOW",
+		"SELECT * FROM t TO TRAIN lr":                      "INTO",
+		"SELECT * FROM t TO PREDICT":                       "USING",
+		"SELECT * FROM t TO EXPLAIN lr INTO m":             "TRAIN, PREDICT or EVALUATE",
+		"SELECT * FROM t TO TRAIN lr WITH alpha INTO m":    `"="`,
+		"SELECT * FROM t TO TRAIN lr WITH a=1, a=2 INTO m": "duplicate WITH",
+		"SELECT * FROM t TO TRAIN lr INTO m INTO n":        "duplicate INTO",
+		"SELECT * FROM t TO TRAIN lr INTO m USING q":       "does not take USING",
+		"SELECT * FROM t TO EVALUATE INTO m USING q":       "does not take INTO",
+		"SELECT * FROM t WHERE a ~ 1 TO TRAIN lr INTO m":   "unexpected character",
+		"SELECT LRTrain('only-two', 'args')":               "needs",
+		"SELECT LMFTrain('m', 't', 'x', 'y', 'z')":         "must be an integer",
+		"SELECT NoSuchFunc('a')":                           "unknown function",
+		"SELECT * FROM t TO TRAIN lr INTO 'm":              "unterminated string",
+		"SELECT * FROM t TO TRAIN lr INTO m extra":         "trailing input",
+	}
+	for src, want := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Fatalf("%q: expected error", src)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: error %q does not mention %q", src, err, want)
+		}
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := lex("SELECT 'never closed"); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	st, err := Parse("SELECT * FROM t -- a comment\nTO TRAIN lr INTO m -- done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Task != "lr" || st.Into != "m" {
+		t.Fatalf("statement: %+v", st)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SHOW TASKS; SHOW TABLES;", []string{"SHOW TASKS;", "SHOW TABLES;"}},
+		{"SHOW TABLES", []string{"SHOW TABLES"}},
+		{"SELECT f('a;b'); SHOW TABLES;", []string{"SELECT f('a;b');", "SHOW TABLES;"}},
+		{"SELECT f('it''s;ok');", []string{"SELECT f('it''s;ok');"}},
+		{"SHOW TABLES; -- check holdout", []string{"SHOW TABLES;"}},
+		{"-- todo; later\nSHOW TABLES;", []string{"-- todo; later\nSHOW TABLES;"}},
+		{"   ;  ; ", nil},
+		{"-- only a comment", nil},
+		{"SELECT 'unterminated", []string{"SELECT 'unterminated"}},
+	}
+	for _, c := range cases {
+		got := SplitStatements(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitStatements(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}

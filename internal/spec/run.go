@@ -1,0 +1,268 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/ordering"
+	"bismarck/internal/parallel"
+	"bismarck/internal/sampling"
+	"bismarck/internal/vector"
+)
+
+// Knob keys shared by every task: step rule, loop control, ordering
+// (§3.2), parallelism (§3.3), sampling (§3.4), and solver selection. They
+// are stripped from the WITH list before task-specific binding, so a task
+// never sees them.
+const (
+	KnobAlpha     = "alpha"
+	KnobDecay     = "decay"
+	KnobStep      = "step"
+	KnobEpochs    = "epochs"
+	KnobTol       = "tol"
+	KnobSeed      = "seed"
+	KnobOrder     = "order"
+	KnobParallel  = "parallel"
+	KnobWorkers   = "workers"
+	KnobMRS       = "mrs"
+	KnobReservoir = "reservoir"
+	KnobSolver    = "solver"
+	KnobThreshold = "threshold"
+)
+
+// KnobSpecs declares the uniform WITH parameters. Defaults marked here
+// with zero sentinels are resolved in Knobs.normalize so session-level
+// defaults can flow in.
+var KnobSpecs = []ParamSpec{
+	FloatParam(KnobAlpha, "initial step size (default: task preference)"),
+	FloatDefault(KnobDecay, 0.95, "per-epoch decay: rho of geometric, exponent of diminishing"),
+	EnumParam(KnobStep, []string{"geometric", "constant", "diminishing"}, "step-size rule (Appendix B)"),
+	IntParam(KnobEpochs, "maximum training epochs (default: session setting)"),
+	FloatDefault(KnobTol, 0, "relative loss-drop convergence tolerance (0 disables)"),
+	IntDefault(KnobSeed, 1, "shuffle / init seed"),
+	EnumParam(KnobOrder, []string{"shuffle_once", "shuffle_always", "clustered"}, "data ordering (§3.2)"),
+	EnumParam(KnobParallel, []string{"none", "pure_uda", "lock", "aig", "nolock"}, "parallelism scheme (§3.3)"),
+	IntDefault(KnobWorkers, 0, "parallel workers (0 = all cores)"),
+	IntDefault(KnobMRS, 0, "multiplexed reservoir sampling buffer capacity (§3.4)"),
+	IntDefault(KnobReservoir, 0, "single-reservoir subsample buffer capacity"),
+	EnumParam(KnobSolver, []string{"igd", "batch", "irls", "als"}, "training algorithm (igd is Bismarck)"),
+	FloatDefault(KnobThreshold, math.NaN(), "PREDICT decision threshold (default: task preference)"),
+}
+
+// Knobs are the bound uniform training controls of one statement.
+type Knobs struct {
+	Alpha     float64 // 0 = unset
+	Decay     float64
+	Step      string
+	Epochs    int // 0 = unset
+	Tol       float64
+	Seed      int64
+	Order     string
+	Parallel  string
+	Workers   int
+	MRS       int
+	Reservoir int
+	Solver    string
+	Threshold float64 // NaN = unset
+}
+
+// SplitKnobs separates the uniform knobs from task-specific WITH pairs
+// and binds/type-checks the knob side.
+func SplitKnobs(with []Param) (Knobs, []Param, error) {
+	known := map[string]bool{}
+	for _, s := range KnobSpecs {
+		known[s.Key] = true
+	}
+	var knobPairs, rest []Param
+	for _, pr := range with {
+		if known[pr.Key] {
+			knobPairs = append(knobPairs, pr)
+		} else {
+			rest = append(rest, pr)
+		}
+	}
+	p, err := BindParams(KnobSpecs, knobPairs)
+	if err != nil {
+		return Knobs{}, nil, err
+	}
+	k := Knobs{
+		Alpha:     p.Float(KnobAlpha),
+		Decay:     p.Float(KnobDecay),
+		Step:      p.Str(KnobStep),
+		Epochs:    p.Int(KnobEpochs),
+		Tol:       p.Float(KnobTol),
+		Seed:      int64(p.Int(KnobSeed)),
+		Order:     p.Str(KnobOrder),
+		Parallel:  p.Str(KnobParallel),
+		Workers:   p.Int(KnobWorkers),
+		MRS:       p.Int(KnobMRS),
+		Reservoir: p.Int(KnobReservoir),
+		Solver:    p.Str(KnobSolver),
+		Threshold: p.Float(KnobThreshold),
+	}
+	exclusive := 0
+	for _, on := range []bool{k.Parallel != "none", k.MRS > 0, k.Reservoir > 0} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return Knobs{}, nil, fmt.Errorf("spec: parallel, mrs and reservoir are mutually exclusive")
+	}
+	// Reject explicitly-written knobs the selected trainer would silently
+	// ignore (defaults are fine): baseline solvers have no IGD step/order
+	// machinery, and the sampling trainers have no ordering or tolerance.
+	rejectExplicit := func(mode string, keys ...string) error {
+		for _, pr := range knobPairs {
+			for _, key := range keys {
+				if pr.Key == key {
+					return fmt.Errorf("spec: %s ignores %s — remove it or drop %s", mode, pr.Key, mode)
+				}
+			}
+		}
+		return nil
+	}
+	if k.Solver != "igd" {
+		if exclusive > 0 {
+			return Knobs{}, nil, fmt.Errorf("spec: solver=%s does not combine with parallel/mrs/reservoir", k.Solver)
+		}
+		if err := rejectExplicit("solver="+k.Solver, KnobOrder, KnobStep, KnobDecay); err != nil {
+			return Knobs{}, nil, err
+		}
+	}
+	if k.MRS > 0 {
+		if err := rejectExplicit("mrs", KnobOrder, KnobTol); err != nil {
+			return Knobs{}, nil, err
+		}
+	}
+	if k.Reservoir > 0 {
+		if err := rejectExplicit("reservoir", KnobOrder, KnobTol); err != nil {
+			return Knobs{}, nil, err
+		}
+	}
+	return k, rest, nil
+}
+
+// StepRule builds the statement's step rule; alpha0 resolves unset alpha.
+func (k Knobs) StepRule(alpha0 float64) core.StepRule {
+	a := k.Alpha
+	if a == 0 {
+		a = alpha0
+	}
+	switch k.Step {
+	case "constant":
+		return core.ConstantStep{A: a}
+	case "diminishing":
+		p := k.Decay
+		if p <= 0 || p > 1 {
+			p = 1
+		}
+		return core.DiminishingStep{A0: a, P: p}
+	default:
+		rho := k.Decay
+		if rho <= 0 || rho >= 1 {
+			rho = 0.95
+		}
+		return core.GeometricStep{A0: a, Rho: rho}
+	}
+}
+
+// OrderStrategy maps the order knob onto §3.2's strategies.
+func (k Knobs) OrderStrategy() core.OrderStrategy {
+	switch k.Order {
+	case "shuffle_always":
+		return ordering.ShuffleAlways{}
+	case "clustered":
+		return ordering.Clustered{}
+	default:
+		return ordering.ShuffleOnce{}
+	}
+}
+
+// ParallelMode maps the parallel knob onto §3.3's schemes.
+func (k Knobs) ParallelMode() parallel.Mode {
+	switch k.Parallel {
+	case "pure_uda":
+		return parallel.PureUDA
+	case "lock":
+		return parallel.Lock
+	case "aig":
+		return parallel.AIG
+	default:
+		return parallel.NoLock
+	}
+}
+
+// Outcome reports one completed training run, whichever trainer ran it.
+type Outcome struct {
+	Model  vector.Dense
+	Epochs int
+	Loss   float64 // NaN when the trainer kept no losses
+	Method string  // human-readable dispatch description
+}
+
+// TrainIGD dispatches the statement onto the matching IGD trainer — the
+// sequential epoch loop, the parallel trainer, or the sampling trainers —
+// driven entirely by the knobs. This is the single dispatch path of the
+// unified architecture: no task-specific branching happens here.
+func TrainIGD(task core.Task, k Knobs, view *engine.Table) (*Outcome, error) {
+	epochs := k.Epochs
+	if epochs <= 0 {
+		epochs = 20
+	}
+	step := k.StepRule(0.1)
+	switch {
+	case k.MRS > 0:
+		tr := &sampling.MRSTrainer{
+			Task: task, Step: step, Passes: epochs, BufCap: k.MRS, Seed: k.Seed,
+		}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+			Method: fmt.Sprintf("IGD/MRS(buf=%d)", k.MRS)}, nil
+
+	case k.Reservoir > 0:
+		tr := &sampling.SubsampleTrainer{
+			Task: task, Step: step, MaxEpochs: epochs, BufCap: k.Reservoir, Seed: k.Seed,
+		}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+			Method: fmt.Sprintf("IGD/Reservoir(buf=%d)", k.Reservoir)}, nil
+
+	case k.Parallel != "none":
+		workers := k.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		tr := &parallel.Trainer{
+			Task: task, Step: step, MaxEpochs: epochs, Workers: workers,
+			Mode: k.ParallelMode(), RelTol: k.Tol, Order: k.OrderStrategy(), Seed: k.Seed,
+		}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+			Method: fmt.Sprintf("IGD/%s×%d", tr.Mode, workers)}, nil
+
+	default:
+		tr := &core.Trainer{
+			Task: task, Step: step, MaxEpochs: epochs, RelTol: k.Tol,
+			Order: k.OrderStrategy(), Seed: k.Seed,
+		}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+			Method: "IGD"}, nil
+	}
+}

@@ -1,323 +1,406 @@
-// Package sqlish implements the MADlib-style end-user interface of §2.1:
-// statements like
+// Package sqlish executes the declarative statement layer of §2.1 against
+// Bismarck trainers over a file catalog. Statements are parsed by
+// internal/spec into one AST — both the SQLFlow-style extended grammar
 //
-//	SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');
+//	SELECT vec, label FROM papers
+//	TO TRAIN svm WITH alpha=0.1, order=shuffle_once INTO myModel;
 //
-// are parsed and dispatched onto Bismarck trainers over a file catalog.
-// The trained model is persisted as a user table (one row per coefficient),
-// exactly as the paper describes. This is deliberately NOT a SQL engine —
-// the paper's point is that the interface layer is thin and orthogonal to
+// and the legacy MADlib-style calls
+//
+//	SELECT SVMTrain('myModel', 'papers', 'vec', 'label');
+//
+// — and dispatched through the task registry: the session projects the
+// data view, binds WITH parameters, builds the task, routes the uniform
+// knobs onto the sequential / parallel / sampling trainers (or a baseline
+// solver), and persists the model as a user table plus a metadata side
+// table, exactly as the paper describes. This is deliberately NOT a SQL
+// engine — the point is that the interface layer is thin and orthogonal to
 // the unified architecture underneath.
 package sqlish
 
 import (
 	"fmt"
 	"io"
-	"regexp"
-	"strconv"
-	"strings"
+	"math"
 
+	"bismarck/internal/baselines"
 	"bismarck/internal/core"
 	"bismarck/internal/engine"
-	"bismarck/internal/ordering"
+	"bismarck/internal/spec"
 	"bismarck/internal/tasks"
 	"bismarck/internal/vector"
+
+	// Side effect: the built-in tasks self-register with the statement
+	// layer's registry.
+	_ "bismarck/internal/tasks/register"
 )
 
 // Session executes statements against one catalog.
 type Session struct {
 	Cat *engine.Catalog
 	Out io.Writer
-	// Epochs and Alpha tune training; zero values pick defaults (20, 0.1).
+	// Epochs and Alpha are session-level defaults used when a statement
+	// sets neither; zero values fall back to 20 and the task's preference.
 	Epochs int
 	Alpha  float64
 }
 
-var stmtRe = regexp.MustCompile(`(?is)^\s*SELECT\s+([A-Za-z0-9_]+)\s*\(([^)]*)\)\s*;?\s*$`)
-
 // Exec parses and runs one statement.
 func (s *Session) Exec(stmt string) error {
-	m := stmtRe.FindStringSubmatch(stmt)
-	if m == nil {
-		return fmt.Errorf("sqlish: cannot parse %q (expected SELECT Func('arg', ...))", stmt)
-	}
-	fn := strings.ToLower(m[1])
-	args, err := parseArgs(m[2])
+	st, err := spec.Parse(stmt)
 	if err != nil {
 		return err
 	}
-	switch fn {
-	case "lrtrain":
-		return s.trainClassifier(args, true)
-	case "svmtrain":
-		return s.trainClassifier(args, false)
-	case "lmftrain":
-		return s.trainLMF(args)
-	case "crftrain":
-		return s.trainCRF(args)
-	case "predict":
-		return s.predict(args)
-	case "tables":
+	return s.Run(st)
+}
+
+// Run executes a parsed statement.
+func (s *Session) Run(st *spec.Statement) error {
+	switch st.Kind {
+	case spec.KindShowTables:
 		for _, n := range s.Cat.Names() {
 			fmt.Fprintln(s.Out, n)
 		}
 		return nil
-	}
-	return fmt.Errorf("sqlish: unknown function %q", m[1])
-}
-
-// parseArgs splits 'a', 'b', 3 into tokens, stripping quotes.
-func parseArgs(raw string) ([]string, error) {
-	raw = strings.TrimSpace(raw)
-	if raw == "" {
-		return nil, nil
-	}
-	parts := strings.Split(raw, ",")
-	out := make([]string, len(parts))
-	for i, p := range parts {
-		p = strings.TrimSpace(p)
-		if len(p) >= 2 && p[0] == '\'' && p[len(p)-1] == '\'' {
-			p = p[1 : len(p)-1]
-		}
-		out[i] = p
-	}
-	return out, nil
-}
-
-func (s *Session) epochs() int {
-	if s.Epochs > 0 {
-		return s.Epochs
-	}
-	return 20
-}
-
-func (s *Session) alpha() float64 {
-	if s.Alpha > 0 {
-		return s.Alpha
-	}
-	return 0.1
-}
-
-// trainClassifier handles LRTrain / SVMTrain(model, table, vecCol, labelCol).
-func (s *Session) trainClassifier(args []string, logistic bool) error {
-	if len(args) != 4 {
-		return fmt.Errorf("sqlish: Train needs (model, table, vecCol, labelCol)")
-	}
-	model, tblName, vecCol, labelCol := args[0], args[1], args[2], args[3]
-	tbl, err := s.Cat.Get(tblName)
-	if err != nil {
-		return err
-	}
-	vi := tbl.Schema.ColIndex(vecCol)
-	li := tbl.Schema.ColIndex(labelCol)
-	if vi < 0 || li < 0 {
-		return fmt.Errorf("sqlish: table %s has no columns %s/%s", tblName, vecCol, labelCol)
-	}
-	// Determine dimension with one scan.
-	dim := 0
-	err = tbl.Scan(func(tp engine.Tuple) error {
-		switch tp[vi].Type {
-		case engine.TDenseVec:
-			if d := len(tp[vi].Dense); d > dim {
-				dim = d
-			}
-		case engine.TSparseVec:
-			if d := tp[vi].Sparse.MaxIdx(); d > dim {
-				dim = d
+	case spec.KindShowTasks:
+		for _, ts := range spec.Tasks() {
+			fmt.Fprintf(s.Out, "%-10s %s\n", ts.Name, ts.Summary)
+			if len(ts.Params) > 0 {
+				fmt.Fprintf(s.Out, "           WITH %s\n", spec.DescribeParams(ts.Params))
 			}
 		}
 		return nil
-	})
+	case spec.KindTrain:
+		return s.train(st)
+	case spec.KindPredict:
+		return s.predict(st)
+	case spec.KindEvaluate:
+		return s.evaluate(st)
+	}
+	return fmt.Errorf("sqlish: unsupported statement %v", st.Kind)
+}
+
+// prepare resolves the statement's task spec, knobs, params, and data view
+// — the shared front half of TRAIN.
+func (s *Session) prepare(st *spec.Statement) (*spec.TaskSpec, spec.Knobs, spec.Params, *spec.View, error) {
+	ts, err := spec.Lookup(st.Task)
+	if err != nil {
+		return nil, spec.Knobs{}, nil, nil, err
+	}
+	knobs, rest, err := spec.SplitKnobs(st.With)
+	if err != nil {
+		return nil, spec.Knobs{}, nil, nil, err
+	}
+	params, err := spec.BindParams(ts.Params, rest)
+	if err != nil {
+		return nil, spec.Knobs{}, nil, nil, err
+	}
+	src, err := s.Cat.Get(st.From)
+	if err != nil {
+		return nil, spec.Knobs{}, nil, nil, err
+	}
+	view, err := spec.ProjectView(src, st, ts.Schema, spec.ViewOptions{})
+	if err != nil {
+		return nil, spec.Knobs{}, nil, nil, err
+	}
+	// threshold is a scoring-time knob; rejecting it here keeps TRAIN from
+	// silently dropping what the user meant for PREDICT/EVALUATE.
+	if !math.IsNaN(knobs.Threshold) {
+		return nil, spec.Knobs{}, nil, nil, fmt.Errorf(
+			"sqlish: threshold applies to PREDICT/EVALUATE, not TRAIN")
+	}
+	// Resolve session-level defaults: statement > session > task.
+	if knobs.Epochs == 0 {
+		knobs.Epochs = s.Epochs
+	}
+	if knobs.Epochs == 0 {
+		knobs.Epochs = 20
+	}
+	if knobs.Alpha == 0 {
+		knobs.Alpha = s.Alpha
+	}
+	if knobs.Alpha == 0 {
+		knobs.Alpha = ts.DefaultAlpha
+	}
+	if knobs.Alpha == 0 {
+		knobs.Alpha = 0.1
+	}
+	return ts, knobs, params, view, nil
+}
+
+// train runs a TO TRAIN statement end-to-end.
+func (s *Session) train(st *spec.Statement) error {
+	ts, knobs, params, view, err := s.prepare(st)
 	if err != nil {
 		return err
 	}
-	if dim == 0 {
-		return fmt.Errorf("sqlish: no feature vectors found in %s.%s", tblName, vecCol)
-	}
-	// The tasks package expects the standard (id, vec, label) layout; wrap
-	// arbitrary layouts by projecting during training via a view table.
-	view, err := projectView(tbl, vi, li)
+	task, err := ts.Build(spec.BuildInput{Params: params, View: view.Table})
 	if err != nil {
 		return err
 	}
-	var task core.Task
-	if logistic {
-		task = tasks.NewLR(dim)
+	var out *spec.Outcome
+	if knobs.Solver == "igd" {
+		out, err = spec.TrainIGD(task, knobs, view.Table)
 	} else {
-		task = tasks.NewSVM(dim)
+		out, err = runSolver(task, ts, knobs, view.Table)
 	}
-	tr := &core.Trainer{Task: task, Step: core.DefaultStep(s.alpha()), MaxEpochs: s.epochs(),
-		Order: ordering.ShuffleOnce{}, Seed: 1}
-	res, err := tr.Run(view)
 	if err != nil {
 		return err
 	}
-	if err := s.saveModel(model, res.Model); err != nil {
+	if err := s.saveModel(st.Into, ts, task, out.Model); err != nil {
 		return err
 	}
-	fmt.Fprintf(s.Out, "%s trained on %s: %d epochs, final loss %.6g; model saved to table %q\n",
-		task.Name(), tblName, res.Epochs, res.FinalLoss(), model)
+	fmt.Fprintf(s.Out, "%s trained on %s via %s: %d epochs, final loss %.6g; model saved to table %q\n",
+		task.Name(), st.From, out.Method, out.Epochs, out.Loss, st.Into)
 	return nil
 }
 
-// projectView materializes an (id, vec, label) view of the source table.
-func projectView(tbl *engine.Table, vi, li int) (*engine.Table, error) {
-	schema := tasks.DenseExampleSchema
-	// Peek the vector type.
-	sparse := false
-	err := tbl.Scan(func(tp engine.Tuple) error {
-		sparse = tp[vi].Type == engine.TSparseVec
-		return errStopScan
-	})
-	if err != nil && err != errStopScan {
-		return nil, err
+// runSolver dispatches the non-IGD solvers of the WITH solver knob onto
+// the baseline implementations.
+func runSolver(task core.Task, ts *spec.TaskSpec, k spec.Knobs, view *engine.Table) (*spec.Outcome, error) {
+	if !ts.SupportsSolver(k.Solver) {
+		return nil, fmt.Errorf("sqlish: task %s does not support solver=%s", ts.Name, k.Solver)
 	}
-	if sparse {
-		schema = tasks.SparseExampleSchema
+	switch k.Solver {
+	case "batch":
+		tr := &baselines.BatchGD{Task: task, Alpha: k.Alpha, MaxIters: k.Epochs,
+			RelTol: k.Tol, LineSearch: true, Seed: k.Seed}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &spec.Outcome{Model: res.Model, Epochs: res.Epochs,
+			Loss: res.FinalLoss(), Method: "BatchGD"}, nil
+	case "irls":
+		lr, ok := task.(*tasks.LR)
+		if !ok {
+			return nil, fmt.Errorf("sqlish: solver=irls requires the lr task")
+		}
+		tr := &baselines.IRLS{D: lr.D, Mu: lr.Mu, MaxIters: k.Epochs, RelTol: k.Tol}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &spec.Outcome{Model: res.Model, Epochs: res.Iters, Loss: lastLoss(res.Losses), Method: "IRLS"}, nil
+	case "als":
+		lmf, ok := task.(*tasks.LMF)
+		if !ok {
+			return nil, fmt.Errorf("sqlish: solver=als requires the lmf task")
+		}
+		tr := &baselines.ALS{Rows: lmf.Rows, Cols: lmf.Cols, Rank: lmf.Rank,
+			Mu: lmf.Mu, MaxSweeps: k.Epochs, RelTol: k.Tol, Seed: k.Seed}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &spec.Outcome{Model: res.Model, Epochs: res.Sweeps, Loss: lastLoss(res.Losses), Method: "ALS"}, nil
 	}
-	view := engine.NewMemTable(tbl.Name+"_view", schema)
-	id := int64(0)
-	err = tbl.Scan(func(tp engine.Tuple) error {
-		view.MustInsert(engine.Tuple{engine.I64(id), tp[vi], tp[li]})
-		id++
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return view, nil
+	return nil, fmt.Errorf("sqlish: unknown solver %q", k.Solver)
 }
 
-var errStopScan = fmt.Errorf("stop")
-
-// trainLMF handles LMFTrain(model, table, rows, cols, rank).
-func (s *Session) trainLMF(args []string) error {
-	if len(args) != 5 {
-		return fmt.Errorf("sqlish: LMFTrain needs (model, table, rows, cols, rank)")
+// lastLoss returns the final recorded loss, or NaN when none was kept.
+func lastLoss(losses []float64) float64 {
+	if len(losses) == 0 {
+		return math.NaN()
 	}
-	model, tblName := args[0], args[1]
-	rows, err1 := strconv.Atoi(args[2])
-	cols, err2 := strconv.Atoi(args[3])
-	rank, err3 := strconv.Atoi(args[4])
-	if err1 != nil || err2 != nil || err3 != nil {
-		return fmt.Errorf("sqlish: LMFTrain rows/cols/rank must be integers")
-	}
-	tbl, err := s.Cat.Get(tblName)
-	if err != nil {
-		return err
-	}
-	task := tasks.NewLMF(rows, cols, rank)
-	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.02, Rho: 0.95},
-		MaxEpochs: s.epochs(), Order: ordering.ShuffleOnce{}, Seed: 1}
-	res, err := tr.Run(tbl)
-	if err != nil {
-		return err
-	}
-	if err := s.saveModel(model, res.Model); err != nil {
-		return err
-	}
-	fmt.Fprintf(s.Out, "LMF trained on %s: %d epochs, final loss %.6g; model saved to table %q\n",
-		tblName, res.Epochs, res.FinalLoss(), model)
-	return nil
+	return losses[len(losses)-1]
 }
 
-// trainCRF handles CRFTrain(model, table, numFeatures, numLabels).
-func (s *Session) trainCRF(args []string) error {
-	if len(args) != 4 {
-		return fmt.Errorf("sqlish: CRFTrain needs (model, table, numFeatures, numLabels)")
+// restore loads a persisted model and rebuilds its task from the metadata
+// side table — the shared front half of PREDICT / EVALUATE.
+func (s *Session) restore(st *spec.Statement, opt spec.ViewOptions) (*spec.TaskSpec, core.Task, vector.Dense, *spec.View, spec.Knobs, error) {
+	fail := func(err error) (*spec.TaskSpec, core.Task, vector.Dense, *spec.View, spec.Knobs, error) {
+		return nil, nil, nil, nil, spec.Knobs{}, err
 	}
-	model, tblName := args[0], args[1]
-	f, err1 := strconv.Atoi(args[2])
-	l, err2 := strconv.Atoi(args[3])
-	if err1 != nil || err2 != nil {
-		return fmt.Errorf("sqlish: CRFTrain numFeatures/numLabels must be integers")
+	// Only the threshold knob means anything here; reject training knobs
+	// (epochs, alpha, order, ...) instead of silently ignoring a typo.
+	for _, pr := range st.With {
+		if pr.Key != spec.KnobThreshold {
+			return fail(fmt.Errorf("sqlish: parameter %q is not valid for %v (only threshold)", pr.Key, st.Kind))
+		}
 	}
-	tbl, err := s.Cat.Get(tblName)
+	knobs, _, err := spec.SplitKnobs(st.With)
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	task := tasks.NewCRF(f, l)
-	tr := &core.Trainer{Task: task, Step: core.GeometricStep{A0: 0.1, Rho: 0.9},
-		MaxEpochs: s.epochs(), Order: ordering.ShuffleOnce{}, Seed: 1}
-	res, err := tr.Run(tbl)
+	taskName, kv, err := s.loadMeta(st.Model)
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	if err := s.saveModel(model, res.Model); err != nil {
-		return err
+	var dim int64
+	fmt.Sscan(kv["__dim"], &dim)
+	w, err := s.loadModel(st.Model, dim)
+	if err != nil {
+		return fail(err)
 	}
-	fmt.Fprintf(s.Out, "CRF trained on %s: %d epochs, final NLL %.6g; model saved to table %q\n",
-		tblName, res.Epochs, res.FinalLoss(), model)
-	return nil
+	ts, err := spec.Lookup(taskName)
+	if err != nil {
+		return fail(err)
+	}
+	delete(kv, "__dim") // reserved: model dimension, not a task parameter
+	params, err := spec.RebindStrings(ts.Params, kv)
+	if err != nil {
+		return fail(err)
+	}
+	src, err := s.Cat.Get(st.From)
+	if err != nil {
+		return fail(err)
+	}
+	view, err := spec.ProjectView(src, st, ts.Schema, opt)
+	if err != nil {
+		return fail(err)
+	}
+	task, err := ts.Build(spec.BuildInput{Params: params, View: view.Table})
+	if err != nil {
+		return fail(err)
+	}
+	// A sparsely-stored model (or corrupt dim metadata) can come back
+	// shorter than the task dimension; pad so hooks can index w freely.
+	if task.Dim() > len(w) {
+		padded := vector.NewDense(task.Dim())
+		copy(padded, w)
+		w = padded
+	}
+	return ts, task, w, view, knobs, nil
 }
 
-// predict handles Predict(model, table, vecCol): prints the fraction of
-// positive predictions (and accuracy when a 'label' column exists).
-func (s *Session) predict(args []string) error {
-	if len(args) != 3 {
-		return fmt.Errorf("sqlish: Predict needs (model, table, vecCol)")
-	}
-	w, err := s.loadModel(args[0])
+// predict runs a TO PREDICT statement: scores the view with the persisted
+// model, writing (id, score) rows INTO a table or printing a summary.
+func (s *Session) predict(st *spec.Statement) error {
+	ts, task, w, view, knobs, err := s.restore(st, spec.ViewOptions{OptionalLabel: true})
 	if err != nil {
 		return err
 	}
-	tbl, err := s.Cat.Get(args[1])
-	if err != nil {
-		return err
+	if ts.Predict == nil {
+		return fmt.Errorf("sqlish: task %s does not support PREDICT (use TO EVALUATE)", ts.Name)
 	}
-	vi := tbl.Schema.ColIndex(args[2])
-	if vi < 0 {
-		return fmt.Errorf("sqlish: no column %q", args[2])
+	threshold := knobs.Threshold
+	if math.IsNaN(threshold) {
+		threshold = ts.DefaultThreshold
 	}
-	li := tbl.Schema.ColIndex("label")
+
+	// Score first, write after: a failing statement must not clobber an
+	// existing destination table.
+	type prediction struct {
+		id    int64
+		score float64
+	}
+	var preds []prediction
+	labelIdx := len(ts.Schema) - 1
 	var n, pos, correct int
-	err = tbl.Scan(func(tp engine.Tuple) error {
-		var margin float64
-		if tp[vi].Type == engine.TSparseVec {
-			margin = vector.DotSparse(w, tp[vi].Sparse)
-		} else {
-			x := tp[vi].Dense
-			d := len(x)
-			if d > len(w) {
-				d = len(w)
-			}
-			margin = vector.Dot(w[:d], x[:d])
+	err = view.Table.Scan(func(tp engine.Tuple) error {
+		score := ts.Predict(task, w, tp)
+		id := int64(n)
+		if tp[0].Type == engine.TInt64 {
+			id = tp[0].Int
 		}
 		n++
-		if margin > 0 {
+		if score > threshold {
 			pos++
 		}
-		if li >= 0 && (margin > 0) == (tp[li].Float > 0) {
+		if view.HasLabel && ts.Agrees != nil &&
+			ts.Agrees(score, threshold, tp[labelIdx].Float) {
 			correct++
+		}
+		if st.Into != "" {
+			preds = append(preds, prediction{id: id, score: score})
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if li >= 0 {
-		fmt.Fprintf(s.Out, "predicted %d rows: %d positive; accuracy %.2f%%\n", n, pos, 100*float64(correct)/float64(n))
+	if n == 0 {
+		return fmt.Errorf("sqlish: no rows to predict in %s", st.From)
+	}
+	if st.Into != "" {
+		dst, err := s.replaceTable(st.Into, engine.Schema{
+			{Name: "id", Type: engine.TInt64},
+			{Name: "score", Type: engine.TFloat64},
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range preds {
+			if err := dst.Insert(engine.Tuple{engine.I64(p.id), engine.F64(p.score)}); err != nil {
+				return err
+			}
+		}
+		if err := dst.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "predicted %d rows into table %q\n", n, st.Into)
+		return nil
+	}
+	if view.HasLabel && ts.Agrees != nil {
+		fmt.Fprintf(s.Out, "predicted %d rows: %d positive; accuracy %.2f%%\n",
+			n, pos, 100*float64(correct)/float64(n))
 	} else {
 		fmt.Fprintf(s.Out, "predicted %d rows: %d positive\n", n, pos)
 	}
 	return nil
 }
 
+// evaluate runs a TO EVALUATE statement: task-appropriate quality metrics
+// of the persisted model over the view (falling back to the total
+// objective loss).
+func (s *Session) evaluate(st *spec.Statement) error {
+	ts, task, w, view, knobs, err := s.restore(st, spec.ViewOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "%s %q on %s: ", ts.Name, st.Model, st.From)
+	if ts.Evaluate != nil {
+		return ts.Evaluate(task, w, view.Table, knobs.Threshold, s.Out)
+	}
+	loss, err := core.TotalLoss(task, w, view.Table)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Out, "n=%d loss=%.6g\n", view.Table.NumRows(), loss)
+	return nil
+}
+
+// --- model persistence ---
+
 // ModelSchema is how trained models persist: one (idx, value) row per
-// coefficient, i.e. "the model ... is then persisted as a user table".
+// nonzero coefficient, i.e. "the model ... is then persisted as a user
+// table".
 var ModelSchema = engine.Schema{
 	{Name: "idx", Type: engine.TInt64},
 	{Name: "value", Type: engine.TFloat64},
 }
 
-func (s *Session) saveModel(name string, w vector.Dense) error {
-	// Drop a stale model of the same name, then recreate.
+// MetaSchema is the model's metadata side table: the task name and its
+// fully-resolved constructor parameters, so PREDICT / EVALUATE can rebuild
+// the identical task later.
+var MetaSchema = engine.Schema{
+	{Name: "key", Type: engine.TString},
+	{Name: "value", Type: engine.TString},
+}
+
+// metaTable names the metadata side table of a model.
+func metaTable(model string) string { return model + "__meta" }
+
+// replaceTable drops any stale table of the same name — together with its
+// model-metadata side table, so overwriting a model's name can never leave
+// stale metadata pointing at non-model rows — and recreates it.
+func (s *Session) replaceTable(name string, schema engine.Schema) (*engine.Table, error) {
 	if _, err := s.Cat.Get(name); err == nil {
 		if err := s.Cat.Drop(name); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	tbl, err := s.Cat.Create(name, ModelSchema)
+	if _, err := s.Cat.Get(metaTable(name)); err == nil {
+		if err := s.Cat.Drop(metaTable(name)); err != nil {
+			return nil, err
+		}
+	}
+	return s.Cat.Create(name, schema)
+}
+
+func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w vector.Dense) error {
+	tbl, err := s.replaceTable(name, ModelSchema)
 	if err != nil {
 		return err
 	}
@@ -329,10 +412,32 @@ func (s *Session) saveModel(name string, w vector.Dense) error {
 			return err
 		}
 	}
-	return tbl.Flush()
+	if err := tbl.Flush(); err != nil {
+		return err
+	}
+	meta, err := s.replaceTable(metaTable(name), MetaSchema)
+	if err != nil {
+		return err
+	}
+	if err := meta.Insert(engine.Tuple{engine.Str("task"), engine.Str(ts.Name)}); err != nil {
+		return err
+	}
+	if err := meta.Insert(engine.Tuple{engine.Str("dim"), engine.Str(fmt.Sprint(task.Dim()))}); err != nil {
+		return err
+	}
+	if ts.Snapshot != nil {
+		for k, v := range ts.Snapshot(task) {
+			if err := meta.Insert(engine.Tuple{engine.Str("p:" + k), engine.Str(v)}); err != nil {
+				return err
+			}
+		}
+	}
+	return meta.Flush()
 }
 
-func (s *Session) loadModel(name string) (vector.Dense, error) {
+// loadModel reads the persisted coefficient table into a dense vector of
+// at least the given dimension (from the metadata side table).
+func (s *Session) loadModel(name string, dim int64) (vector.Dense, error) {
 	tbl, err := s.Cat.Get(name)
 	if err != nil {
 		return nil, err
@@ -346,7 +451,10 @@ func (s *Session) loadModel(name string) (vector.Dense, error) {
 	}); err != nil {
 		return nil, err
 	}
-	w := vector.NewDense(int(maxIdx + 1))
+	if maxIdx+1 > dim {
+		dim = maxIdx + 1
+	}
+	w := vector.NewDense(int(dim))
 	if err := tbl.Scan(func(tp engine.Tuple) error {
 		w[tp[0].Int] = tp[1].Float
 		return nil
@@ -354,4 +462,34 @@ func (s *Session) loadModel(name string) (vector.Dense, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// loadMeta reads a model's metadata: the task name and its parameter map.
+// The model dimension is returned under the reserved key "__dim".
+func (s *Session) loadMeta(name string) (string, map[string]string, error) {
+	tbl, err := s.Cat.Get(metaTable(name))
+	if err != nil {
+		return "", nil, fmt.Errorf("sqlish: model %q has no metadata (was it trained by this interface?)", name)
+	}
+	task := ""
+	kv := map[string]string{}
+	err = tbl.Scan(func(tp engine.Tuple) error {
+		k, v := tp[0].Str, tp[1].Str
+		switch {
+		case k == "task":
+			task = v
+		case k == "dim":
+			kv["__dim"] = v
+		case len(k) > 2 && k[:2] == "p:":
+			kv[k[2:]] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if task == "" {
+		return "", nil, fmt.Errorf("sqlish: model %q metadata is missing the task name", name)
+	}
+	return task, kv, nil
 }

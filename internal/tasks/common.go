@@ -61,12 +61,18 @@ const (
 )
 
 // dotFeatures computes w·x where x is the tuple's feature value, which may
-// be dense or sparse, against a dense snapshot w.
+// be dense or sparse, against a dense snapshot w. Feature components beyond
+// the model's dimension are ignored (a prediction-time table may be wider
+// than the table the model was trained on).
 func dotFeatures(w vector.Dense, v engine.Value) float64 {
 	if v.Type == engine.TSparseVec {
 		return vector.DotSparse(w, v.Sparse)
 	}
-	return vector.Dot(w[:len(v.Dense)], v.Dense)
+	x := v.Dense
+	if len(x) > len(w) {
+		x = x[:len(w)]
+	}
+	return vector.Dot(w[:len(x)], x)
 }
 
 // dotModel computes w·x reading components through the Model interface,
@@ -76,8 +82,8 @@ func dotModel(m core.Model, v engine.Value) float64 {
 		return dotFeatures(dm.W, v)
 	}
 	var s float64
+	d := m.Dim()
 	if v.Type == engine.TSparseVec {
-		d := m.Dim()
 		for k, i := range v.Sparse.Idx {
 			if int(i) < d {
 				s += m.Get(int(i)) * v.Sparse.Val[k]
@@ -86,6 +92,9 @@ func dotModel(m core.Model, v engine.Value) float64 {
 		return s
 	}
 	for i, x := range v.Dense {
+		if i >= d {
+			break
+		}
 		s += m.Get(i) * x
 	}
 	return s
@@ -98,12 +107,16 @@ func axpyModel(m core.Model, v engine.Value, c float64) {
 		if v.Type == engine.TSparseVec {
 			vector.AxpySparse(dm.W, v.Sparse, c)
 		} else {
-			vector.Axpy(dm.W[:len(v.Dense)], v.Dense, c)
+			x := v.Dense
+			if len(x) > len(dm.W) {
+				x = x[:len(dm.W)] // ignore features beyond the model dim
+			}
+			vector.Axpy(dm.W[:len(x)], x, c)
 		}
 		return
 	}
+	d := m.Dim()
 	if v.Type == engine.TSparseVec {
-		d := m.Dim()
 		for k, i := range v.Sparse.Idx {
 			if int(i) < d {
 				m.Add(int(i), c*v.Sparse.Val[k])
@@ -112,6 +125,9 @@ func axpyModel(m core.Model, v engine.Value, c float64) {
 		return
 	}
 	for i, x := range v.Dense {
+		if i >= d {
+			break
+		}
 		m.Add(i, c*x)
 	}
 }
@@ -125,8 +141,8 @@ func shrinkTouched(m core.Model, v engine.Value, alphaMu float64) {
 		return
 	}
 	c := -alphaMu
+	d := m.Dim()
 	if v.Type == engine.TSparseVec {
-		d := m.Dim()
 		for _, i := range v.Sparse.Idx {
 			if int(i) < d {
 				m.Add(int(i), c*m.Get(int(i)))
@@ -135,6 +151,13 @@ func shrinkTouched(m core.Model, v engine.Value, alphaMu float64) {
 		return
 	}
 	for i := range v.Dense {
+		if i >= d {
+			break
+		}
 		m.Add(i, c*m.Get(i))
 	}
 }
+
+// DotFeatures computes w·x for a dense or sparse feature value against a
+// dense model snapshot; exported for the task registration layer.
+func DotFeatures(w vector.Dense, v engine.Value) float64 { return dotFeatures(w, v) }

@@ -53,8 +53,8 @@ func (t *Lasso) proxTouched(m core.Model, v engine.Value, amu float64) {
 			m.Add(i, -w)
 		}
 	}
+	d := m.Dim()
 	if v.Type == engine.TSparseVec {
-		d := m.Dim()
 		for _, i := range v.Sparse.Idx {
 			if int(i) < d {
 				shrink(int(i))
@@ -63,6 +63,9 @@ func (t *Lasso) proxTouched(m core.Model, v engine.Value, amu float64) {
 		return
 	}
 	for i := range v.Dense {
+		if i >= d {
+			break
+		}
 		shrink(i)
 	}
 }

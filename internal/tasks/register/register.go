@@ -1,0 +1,439 @@
+// Package register is where every built-in task self-registers its
+// constructor, canonical data layout, and tunable WITH-parameters with the
+// declarative statement layer (internal/spec). It is the only coupling
+// between the tasks and the statement grammar — adding a task here makes
+// it reachable as `TO TRAIN <name>` with zero changes to the dispatch
+// path. It lives beside internal/tasks (rather than inside it) so the
+// trainer packages' tests can import tasks without dragging in the
+// statement layer.
+package register
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/spec"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// binaryAgrees reports sign agreement between a thresholded score and a
+// label, accepting both ±1 and 0/1 label conventions.
+func binaryAgrees(s, threshold, label float64) bool {
+	return (s > threshold) == (label > 0)
+}
+
+// dimOf resolves the "dim" parameter, inferring the feature width from the
+// view's vec column when the statement did not pin it.
+func dimOf(in spec.BuildInput, col int) (int, error) {
+	if in.Params.Has("dim") && in.Params.Int("dim") > 0 {
+		return in.Params.Int("dim"), nil
+	}
+	return spec.InferVecDim(in.View, col)
+}
+
+// evalBinary is the shared Evaluate hook of the binary classifiers:
+// threshold is the statement's WITH threshold, def the task default.
+func evalBinary(c tasks.BinaryClassifier, threshold, def float64) func(io.Writer, *engine.Table, vector.Dense) error {
+	if math.IsNaN(threshold) {
+		threshold = def
+	}
+	return func(out io.Writer, view *engine.Table, w vector.Dense) error {
+		m, err := tasks.EvaluateBinary(c, w, view, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "n=%d accuracy=%.4f precision=%.4f recall=%.4f f1=%.4f\n",
+			m.N, m.Accuracy, m.Precision, m.Recall, m.F1)
+		return nil
+	}
+}
+
+func init() {
+	dimParam := spec.IntParam("dim", "feature dimension (inferred from the data when omitted)")
+
+	// --- tasks.LR ---
+	spec.Register(spec.TaskSpec{
+		Name:    "lr",
+		Aliases: []string{"logistic_regression", "logisticregression"},
+		Summary: "L2-regularized logistic regression",
+		Schema:  tasks.DenseExampleSchema,
+		Params: []spec.ParamSpec{
+			dimParam,
+			spec.FloatDefault("mu", 0, "L2 regularization strength"),
+		},
+		DefaultAlpha: 0.1,
+		ExtraSolvers: []string{"irls"},
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d, err := dimOf(in, tasks.ColVec)
+			if err != nil {
+				return nil, err
+			}
+			return &tasks.LR{D: d, Mu: in.Params.Float("mu")}, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			lr := t.(*tasks.LR)
+			return map[string]string{"dim": itoa(lr.D), "mu": ftoa(lr.Mu)}
+		},
+		Predict: func(t core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			return t.(*tasks.LR).Predict(w, tp[tasks.ColVec])
+		},
+		DefaultThreshold: 0.5,
+		Agrees:           binaryAgrees,
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, threshold float64, out io.Writer) error {
+			return evalBinary(t.(*tasks.LR), threshold, 0.5)(out, view, w)
+		},
+	})
+
+	// --- tasks.SVM ---
+	spec.Register(spec.TaskSpec{
+		Name:    "svm",
+		Aliases: []string{"linear_svm"},
+		Summary: "linear support vector machine (hinge loss)",
+		Schema:  tasks.DenseExampleSchema,
+		Params: []spec.ParamSpec{
+			dimParam,
+			spec.FloatDefault("mu", 0, "L2 regularization strength"),
+		},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d, err := dimOf(in, tasks.ColVec)
+			if err != nil {
+				return nil, err
+			}
+			return &tasks.SVM{D: d, Mu: in.Params.Float("mu")}, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			s := t.(*tasks.SVM)
+			return map[string]string{"dim": itoa(s.D), "mu": ftoa(s.Mu)}
+		},
+		Predict: func(t core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			return t.(*tasks.SVM).Predict(w, tp[tasks.ColVec])
+		},
+		Agrees: binaryAgrees,
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, threshold float64, out io.Writer) error {
+			return evalBinary(t.(*tasks.SVM), threshold, 0)(out, view, w)
+		},
+	})
+
+	// --- least squares ---
+	spec.Register(spec.TaskSpec{
+		Name:         "lsq",
+		Aliases:      []string{"leastsquares", "least_squares", "linreg"},
+		Summary:      "least-squares regression (the CA-TX model)",
+		Schema:       tasks.DenseExampleSchema,
+		Params:       []spec.ParamSpec{dimParam},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d, err := dimOf(in, tasks.ColVec)
+			if err != nil {
+				return nil, err
+			}
+			return &tasks.LeastSquares{D: d}, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			return map[string]string{"dim": itoa(t.(*tasks.LeastSquares).D)}
+		},
+		Predict: func(_ core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			return tasks.DotFeatures(w, tp[tasks.ColVec])
+		},
+	})
+
+	// --- lasso ---
+	spec.Register(spec.TaskSpec{
+		Name:    "lasso",
+		Summary: "L1-regularized least squares (soft thresholding prox)",
+		Schema:  tasks.DenseExampleSchema,
+		Params: []spec.ParamSpec{
+			dimParam,
+			spec.FloatDefault("mu", 0.01, "L1 penalty strength"),
+		},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d, err := dimOf(in, tasks.ColVec)
+			if err != nil {
+				return nil, err
+			}
+			return tasks.NewLasso(d, in.Params.Float("mu")), nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			l := t.(*tasks.Lasso)
+			return map[string]string{"dim": itoa(l.D), "mu": ftoa(l.Mu)}
+		},
+		Predict: func(_ core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			return tasks.DotFeatures(w, tp[tasks.ColVec])
+		},
+	})
+
+	// --- softmax ---
+	spec.Register(spec.TaskSpec{
+		Name:    "softmax",
+		Aliases: []string{"multiclass", "multinomial"},
+		Summary: "multiclass (multinomial) logistic regression",
+		Schema:  tasks.DenseExampleSchema,
+		Params: []spec.ParamSpec{
+			dimParam,
+			spec.IntParam("classes", "number of classes (inferred from labels when omitted)"),
+		},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d, err := dimOf(in, tasks.ColVec)
+			if err != nil {
+				return nil, err
+			}
+			k := in.Params.Int("classes")
+			if k == 0 {
+				if k, err = spec.InferMaxInt(in.View, tasks.ColLabel); err != nil {
+					return nil, err
+				}
+			}
+			if k < 2 {
+				return nil, fmt.Errorf("tasks: softmax needs >= 2 classes, got %d", k)
+			}
+			return tasks.NewSoftmax(d, k), nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			s := t.(*tasks.Softmax)
+			return map[string]string{"dim": itoa(s.D), "classes": itoa(s.K)}
+		},
+		Predict: func(t core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			return float64(t.(*tasks.Softmax).Predict(w, tp[tasks.ColVec]))
+		},
+		Agrees: func(s, _, label float64) bool { return s == math.Round(label) },
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, _ float64, out io.Writer) error {
+			s := t.(*tasks.Softmax)
+			correct, n := 0, 0
+			err := view.Scan(func(tp engine.Tuple) error {
+				n++
+				if s.Predict(w, tp[tasks.ColVec]) == int(tp[tasks.ColLabel].Float) {
+					correct++
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return fmt.Errorf("tasks: evaluate on empty table")
+			}
+			fmt.Fprintf(out, "n=%d accuracy=%.4f\n", n, float64(correct)/float64(n))
+			return nil
+		},
+	})
+
+	// --- tasks.LMF ---
+	spec.Register(spec.TaskSpec{
+		Name:    "lmf",
+		Aliases: []string{"matrix_factorization", "mf"},
+		Summary: "low-rank matrix factorization for recommendation",
+		Schema:  tasks.RatingSchema,
+		Params: []spec.ParamSpec{
+			spec.IntParam("rows", "matrix rows (inferred when omitted)"),
+			spec.IntParam("cols", "matrix cols (inferred when omitted)"),
+			spec.IntDefault("rank", 8, "factorization rank"),
+			spec.FloatDefault("mu", 0, "Frobenius regularization"),
+			spec.FloatDefault("init_scale", 0.1, "random init scale"),
+		},
+		DefaultAlpha: 0.02,
+		ExtraSolvers: []string{"als"},
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			rows, cols := in.Params.Int("rows"), in.Params.Int("cols")
+			var err error
+			if rows == 0 {
+				if rows, err = spec.InferMaxInt(in.View, 0); err != nil {
+					return nil, err
+				}
+			}
+			if cols == 0 {
+				if cols, err = spec.InferMaxInt(in.View, 1); err != nil {
+					return nil, err
+				}
+			}
+			t := tasks.NewLMF(rows, cols, in.Params.Int("rank"))
+			t.Mu = in.Params.Float("mu")
+			t.InitScale = in.Params.Float("init_scale")
+			return t, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			l := t.(*tasks.LMF)
+			return map[string]string{"rows": itoa(l.Rows), "cols": itoa(l.Cols),
+				"rank": itoa(l.Rank), "mu": ftoa(l.Mu), "init_scale": ftoa(l.InitScale)}
+		},
+		Predict: func(t core.Task, w vector.Dense, tp engine.Tuple) float64 {
+			l := t.(*tasks.LMF)
+			i, j := int(tp[0].Int), int(tp[1].Int)
+			if i < 0 || i >= l.Rows || j < 0 || j >= l.Cols {
+				return math.NaN() // cell outside the trained matrix
+			}
+			return l.Predict(w, i, j)
+		},
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, _ float64, out io.Writer) error {
+			rmse, err := t.(*tasks.LMF).RMSE(w, view)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "n=%d rmse=%.4f\n", view.NumRows(), rmse)
+			return nil
+		},
+	})
+
+	// --- tasks.CRF ---
+	spec.Register(spec.TaskSpec{
+		Name:    "crf",
+		Aliases: []string{"chain_crf"},
+		Summary: "linear-chain conditional random field",
+		Schema:  tasks.SeqSchema,
+		Params: []spec.ParamSpec{
+			spec.IntParam("features", "observation feature count (inferred when omitted)"),
+			spec.IntParam("labels", "tag count (inferred when omitted)"),
+		},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			f, l := in.Params.Int("features"), in.Params.Int("labels")
+			var err error
+			if f == 0 {
+				if f, err = spec.InferMaxInt32(in.View, 2); err != nil {
+					return nil, err
+				}
+			}
+			if l == 0 {
+				if l, err = spec.InferMaxInt32(in.View, 3); err != nil {
+					return nil, err
+				}
+			}
+			return tasks.NewCRF(f, l), nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			c := t.(*tasks.CRF)
+			return map[string]string{"features": itoa(c.F), "labels": itoa(c.L)}
+		},
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, _ float64, out io.Writer) error {
+			correct, total, err := t.(*tasks.CRF).TokenAccuracy(w, view)
+			if err != nil {
+				return err
+			}
+			if total == 0 {
+				return fmt.Errorf("tasks: evaluate on empty table")
+			}
+			fmt.Fprintf(out, "tokens=%d accuracy=%.4f\n", total, float64(correct)/float64(total))
+			return nil
+		},
+	})
+
+	// --- tasks.Kalman ---
+	spec.Register(spec.TaskSpec{
+		Name:    "kalman",
+		Aliases: []string{"smoother"},
+		Summary: "Kalman-style time-series smoothing",
+		Schema:  tasks.SeriesSchema,
+		Params: []spec.ParamSpec{
+			spec.IntParam("steps", "series length (inferred when omitted)"),
+			spec.IntParam("dim", "state dimension (inferred when omitted)"),
+			spec.FloatDefault("rho", 1, "smoothness weight"),
+		},
+		DefaultAlpha: 0.1,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			T, d := in.Params.Int("steps"), in.Params.Int("dim")
+			var err error
+			if T == 0 {
+				if T, err = spec.InferMaxInt(in.View, 0); err != nil {
+					return nil, err
+				}
+			}
+			if d == 0 {
+				if d, err = spec.InferVecDim(in.View, 1); err != nil {
+					return nil, err
+				}
+			}
+			t := tasks.NewKalman(T, d)
+			t.Rho = in.Params.Float("rho")
+			return t, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			k := t.(*tasks.Kalman)
+			return map[string]string{"steps": itoa(k.T), "dim": itoa(k.D), "rho": ftoa(k.Rho)}
+		},
+	})
+
+	// --- tasks.Portfolio ---
+	spec.Register(spec.TaskSpec{
+		Name:    "portfolio",
+		Aliases: []string{"port"},
+		Summary: "simplex-constrained mean-risk portfolio optimization",
+		Schema:  tasks.ReturnSchema,
+		Params: []spec.ParamSpec{
+			spec.IntParam("assets", "number of assets (inferred when omitted)"),
+			spec.FloatDefault("lambda", 1, "risk aversion"),
+			spec.FloatDefault("gamma", 1, "return weight"),
+		},
+		DefaultAlpha: 0.05,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			d := in.Params.Int("assets")
+			var err error
+			if d == 0 {
+				if d, err = spec.InferVecDim(in.View, 1); err != nil {
+					return nil, err
+				}
+			}
+			t := tasks.NewPortfolio(d)
+			t.Lambda = in.Params.Float("lambda")
+			t.Gamma = in.Params.Float("gamma")
+			return t, nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			p := t.(*tasks.Portfolio)
+			return map[string]string{"assets": itoa(p.D), "lambda": ftoa(p.Lambda), "gamma": ftoa(p.Gamma)}
+		},
+	})
+
+	// --- MAX-CUT ---
+	spec.Register(spec.TaskSpec{
+		Name:    "maxcut",
+		Aliases: []string{"max_cut"},
+		Summary: "low-rank MAX-CUT relaxation over an edge table",
+		Schema:  tasks.RatingSchema, // (row=i, col=j, rating=weight) edges
+		Params: []spec.ParamSpec{
+			spec.IntParam("nodes", "vertex count (inferred when omitted)"),
+			spec.IntDefault("rank", 8, "relaxation rank"),
+		},
+		DefaultAlpha: 0.05,
+		Build: func(in spec.BuildInput) (core.Task, error) {
+			n := in.Params.Int("nodes")
+			if n == 0 {
+				n1, err := spec.InferMaxInt(in.View, 0)
+				if err != nil {
+					return nil, err
+				}
+				n2, err := spec.InferMaxInt(in.View, 1)
+				if err != nil {
+					return nil, err
+				}
+				n = n1
+				if n2 > n {
+					n = n2
+				}
+			}
+			return tasks.NewMaxCut(n, in.Params.Int("rank")), nil
+		},
+		Snapshot: func(t core.Task) map[string]string {
+			m := t.(*tasks.MaxCut)
+			return map[string]string{"nodes": itoa(m.N), "rank": itoa(m.K)}
+		},
+		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, _ float64, out io.Writer) error {
+			m := t.(*tasks.MaxCut)
+			_, val, err := m.RoundCut(w, view, 32, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "edges=%d rounded_cut_value=%.4f\n", view.NumRows(), val)
+			return nil
+		},
+	})
+}

@@ -42,6 +42,9 @@ func (t *Softmax) classDot(m core.Model, v engine.Value, c int) float64 {
 		return s
 	}
 	for i, x := range v.Dense {
+		if i >= t.D {
+			break
+		}
 		s += m.Get(off+i) * x
 	}
 	return s
@@ -59,6 +62,9 @@ func (t *Softmax) axpyClass(m core.Model, v engine.Value, c int, cst float64) {
 		return
 	}
 	for i, x := range v.Dense {
+		if i >= t.D {
+			break
+		}
 		m.Add(off+i, cst*x)
 	}
 }
@@ -113,6 +119,9 @@ func (t *Softmax) Loss(w vector.Dense, e engine.Tuple) float64 {
 			}
 		} else {
 			for i, v := range x.Dense {
+				if i >= t.D {
+					break
+				}
 				z[c] += w[off+i] * v
 			}
 		}
@@ -134,6 +143,9 @@ func (t *Softmax) Predict(w vector.Dense, x engine.Value) int {
 			}
 		} else {
 			for i, v := range x.Dense {
+				if i >= t.D {
+					break
+				}
 				s += w[off+i] * v
 			}
 		}
