@@ -19,6 +19,7 @@ import (
 	"bismarck/internal/ordering"
 	"bismarck/internal/parallel"
 	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
 )
 
 func benchCfg() experiments.Config {
@@ -163,9 +164,31 @@ func BenchmarkShuffleCost(b *testing.B) {
 }
 
 // BenchmarkOrderingStrategies runs three epochs under each strategy,
-// capturing Prepare (shuffle) costs in context.
+// capturing Prepare (shuffle) costs in context. PhysicalReorder pins the
+// paper-faithful on-disk rewrite — the cost this bench exists to show.
 func BenchmarkOrderingStrategies(b *testing.B) {
 	for _, strat := range []core.OrderStrategy{ordering.Clustered{}, ordering.ShuffleOnce{}, ordering.ShuffleAlways{}} {
+		b.Run(strat.Name(), func(b *testing.B) {
+			tbl := data.DBLife(8000, 41000, 12, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := &bismarck.Trainer{Task: bismarck.NewLR(41000), Step: bismarck.DefaultStep(0.2),
+					MaxEpochs: 3, SkipLoss: true, Order: strat, Seed: 1,
+					Profile: engine.Profile{PhysicalReorder: true}}
+				if _, err := tr.Run(tbl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderingLogical is the cached-pipeline counterpart of
+// BenchmarkOrderingStrategies: the same three epochs, with shuffles
+// expressed as permutations of the decoded-row cache's index — the
+// ablation DESIGN.md §5 calls "logical vs physical reorder".
+func BenchmarkOrderingLogical(b *testing.B) {
+	for _, strat := range []core.OrderStrategy{ordering.ShuffleOnce{}, ordering.ShuffleAlways{}} {
 		b.Run(strat.Name(), func(b *testing.B) {
 			tbl := data.DBLife(8000, 41000, 12, 7)
 			b.ResetTimer()
@@ -178,4 +201,53 @@ func BenchmarkOrderingStrategies(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEpochScan is the epoch pipeline's decode-path ablation: one full
+// pass of gradient steps per op over dense LR and sparse SVM workloads,
+// comparing the seed decode-per-epoch path against reusable-scratch decode
+// and the materialized columnar cache, sequentially and with 4 shared-
+// memory workers. The cached dense-LR steady state must hold ≤1 alloc/op
+// (see TestEpochScanAllocs) and ≥2x decode's rows/sec.
+func BenchmarkEpochScan(b *testing.B) {
+	cases, err := experiments.EpochScanCases(
+		experiments.EpochScanDenseRows, experiments.EpochScanSparseRows, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.Rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkDotAxpy isolates the fused step kernel against the separate
+// dot-then-axpy calls it replaced.
+func BenchmarkDotAxpy(b *testing.B) {
+	const d = 1024
+	w, x := make(vector.Dense, d), make(vector.Dense, d)
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+	b.Run("Fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vector.DotAxpy(w, x, func(dot float64) float64 { return 1e-9 * dot })
+		}
+	})
+	b.Run("Split", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dot := vector.Dot(w, x)
+			vector.Axpy(w, x, 1e-9*dot)
+		}
+	})
 }

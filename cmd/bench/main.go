@@ -1,16 +1,24 @@
-// Command bench regenerates the paper's tables and figures.
+// Command bench regenerates the paper's tables and figures, and emits the
+// machine-readable perf trajectory of the epoch pipeline.
 //
 // Usage:
 //
 //	bench -exp all                 # run every experiment at default scale
 //	bench -exp fig8 -scale 0.25    # one experiment on smaller data
 //	bench -list                    # list experiment ids
+//	bench -bench-json BENCH_2.json # epoch-scan microbenchmarks as JSON
+//
+// The full-scale table/figure numbers are recorded in EXPERIMENTS.md; the
+// -bench-json output is the per-PR perf trajectory (ns/op, allocs/op,
+// rows/sec for the epoch-scan decode paths) that EXPERIMENTS.md tracks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"bismarck/internal/experiments"
@@ -18,18 +26,27 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id to run, or 'all'")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = repo defaults)")
-		workers = flag.Int("workers", 8, "max threads for the parallel experiments")
-		budget  = flag.Duration("budget", 15*time.Second, "per-tool budget for the Table 4 grid")
-		seed    = flag.Int64("seed", 42, "random seed for data generation and training")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "experiment id to run, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = repo defaults)")
+		workers   = flag.Int("workers", 8, "max threads for the parallel experiments")
+		budget    = flag.Duration("budget", 15*time.Second, "per-tool budget for the Table 4 grid")
+		seed      = flag.Int64("seed", 42, "random seed for data generation and training")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		benchJSON = flag.String("bench-json", "", "write epoch-scan microbenchmark results to this JSON file and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -57,4 +74,79 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// benchEntry is one epoch-scan measurement in the perf-trajectory file.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+type benchFile struct {
+	Generated string       `json:"generated"`
+	Note      string       `json:"note"`
+	Benches   []benchEntry `json:"benches"`
+	Speedups  struct {
+		DenseLRCachedVsDecode   float64 `json:"dense_lr_cached_vs_decode"`
+		SparseSVMCachedVsDecode float64 `json:"sparse_svm_cached_vs_decode"`
+	} `json:"speedups"`
+}
+
+// writeBenchJSON runs the epoch-scan family through testing.Benchmark and
+// writes the machine-readable trajectory file.
+func writeBenchJSON(path string, seed int64) error {
+	cases, err := experiments.EpochScanCases(
+		experiments.EpochScanDenseRows, experiments.EpochScanSparseRows, seed)
+	if err != nil {
+		return err
+	}
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note: "one op = one full epoch of gradient steps; decode = per-row " +
+			"DecodeTuple (seed path), reuse = reusable-scratch decode, cached = " +
+			"materialized columnar row cache",
+	}
+	rows := map[string]float64{}
+	for _, c := range cases {
+		c := c
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", c.Name, runErr)
+		}
+		ns := float64(r.NsPerOp())
+		rps := float64(c.Rows) / (ns / 1e9)
+		rows[c.Name] = rps
+		out.Benches = append(out.Benches, benchEntry{
+			Name:        c.Name,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			RowsPerSec:  rps,
+		})
+		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %14.0f rows/s\n",
+			c.Name, ns, r.AllocsPerOp(), rps)
+	}
+	if d := rows["dense-lr/decode/1w"]; d > 0 {
+		out.Speedups.DenseLRCachedVsDecode = rows["dense-lr/cached/1w"] / d
+	}
+	if d := rows["sparse-svm/decode/1w"]; d > 0 {
+		out.Speedups.SparseSVMCachedVsDecode = rows["sparse-svm/cached/1w"] / d
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

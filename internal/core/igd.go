@@ -86,6 +86,15 @@ type OrderStrategy interface {
 	Prepare(tbl *engine.Table, epoch int, rng *rand.Rand) error
 }
 
+// LogicalOrderStrategy is implemented by ordering strategies that can
+// express their reorder as a permutation of a materialized cache's row
+// index instead of a physical table rewrite. When the engine profile does
+// not charge physical-rewrite cost, the trainers run epochs over the cache
+// and call PrepareLogical; strategies without it force the physical path.
+type LogicalOrderStrategy interface {
+	PrepareLogical(v *engine.MatView, epoch int, rng *rand.Rand) error
+}
+
 // NoOrder leaves the table untouched (i.e. "Clustered" when the table is
 // physically clustered).
 type NoOrder struct{}
@@ -95,6 +104,39 @@ func (NoOrder) Name() string { return "AsStored" }
 
 // Prepare implements OrderStrategy.
 func (NoOrder) Prepare(*engine.Table, int, *rand.Rand) error { return nil }
+
+// PrepareLogical implements LogicalOrderStrategy.
+func (NoOrder) PrepareLogical(*engine.MatView, int, *rand.Rand) error { return nil }
+
+// EpochSource selects a trainer run's epoch pipeline and is shared by the
+// sequential and parallel trainers. The zero-allocation steady state runs
+// every epoch over the table's decoded-row cache, expressing shuffles as
+// permutations of a per-run view; only the initial materialization touches
+// page bytes. The physical path — profile charges rewrite cost, ordering
+// has no logical form, or the table exceeds the cache limit — reorders on
+// disk and re-decodes per epoch through reusable scratch. The returned
+// prepare function applies the ordering before each epoch against
+// whichever pipeline was chosen.
+func EpochSource(tbl *engine.Table, order OrderStrategy, p engine.Profile) (
+	engine.Relation, func(epoch int, rng *rand.Rand) error, error) {
+	logical, canLogical := order.(LogicalOrderStrategy)
+	if !p.PhysicalReorder && canLogical {
+		mat, err := tbl.Materialize()
+		switch {
+		case err == nil:
+			view := mat.View()
+			return view, func(e int, rng *rand.Rand) error {
+				return logical.PrepareLogical(view, e, rng)
+			}, nil
+		case !errors.Is(err, engine.ErrUncacheable):
+			return nil, nil, err
+		}
+		// Too big to cache: reuse-scratch scans below.
+	}
+	return tbl.Reuse(), func(e int, rng *rand.Rand) error {
+		return order.Prepare(tbl, e, rng)
+	}, nil
+}
 
 // Trainer drives the Bismarck epoch loop of Figure 2: run the IGD aggregate
 // over the data, compute the loss, test convergence, repeat.
@@ -175,6 +217,11 @@ func (tr *Trainer) Run(tbl *engine.Table) (*Result, error) {
 		order = NoOrder{}
 	}
 
+	src, prepare, err := EpochSource(tbl, order, tr.Profile)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	start := time.Now()
 	prevLoss := math.NaN()
@@ -185,12 +232,12 @@ func (tr *Trainer) Run(tbl *engine.Table) (*Result, error) {
 			return res, ErrDeadline
 		}
 		epochStart := time.Now()
-		if err := order.Prepare(tbl, e, rng); err != nil {
+		if err := prepare(e, rng); err != nil {
 			return nil, err
 		}
 		agg := &IGDAggregate{Task: tr.Task, Alpha: tr.Step.Alpha(e), Init: w,
 			PiggybackLoss: tr.PiggybackLoss && !tr.SkipLoss}
-		out, err := engine.RunUDA(tbl, agg, tr.Profile)
+		out, err := engine.RunUDAOn(src, agg, tr.Profile)
 		if err != nil {
 			return nil, err
 		}

@@ -17,9 +17,11 @@ type Task interface {
 	Dim() int
 	// Step performs one incremental gradient update on m for tuple t with
 	// step size alpha (Eq. 2), including any per-step proximal/projection
-	// work the task needs (Eq. 3).
+	// work the task needs (Eq. 3). The tuple may alias reusable scan
+	// scratch: it is only valid during the call and must not be retained.
 	Step(m Model, t engine.Tuple, alpha float64)
-	// Loss evaluates the tuple's contribution to the objective at w.
+	// Loss evaluates the tuple's contribution to the objective at w. The
+	// same no-retention rule as Step applies.
 	Loss(w vector.Dense, t engine.Tuple) float64
 }
 
@@ -46,10 +48,15 @@ func InitialModel(t Task, seed int64) vector.Dense {
 }
 
 // TotalLoss computes sum_i f(w, z_i) (+ P(w) if the task is Regularized)
-// with a sequential aggregation scan — the loss UDA of §3.1.
+// with a sequential aggregation scan — the loss UDA of §3.1. The scan runs
+// over the table's decoded-row cache when one is fresh (the common case
+// inside the epoch loop, where the gradient pass just materialized it) and
+// otherwise through reusable decode scratch; it never builds a cache, so a
+// physically reshuffled table does not pay a rematerialization per loss
+// evaluation.
 func TotalLoss(t Task, w vector.Dense, tbl *engine.Table) (float64, error) {
 	var sum float64
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		sum += t.Loss(w, tp)
 		return nil
 	})

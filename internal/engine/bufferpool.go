@@ -7,13 +7,31 @@ import (
 	"sync"
 )
 
+// maxPoolShards bounds the number of lock shards; 16 is enough that the
+// segment scans of the parallel trainers (bounded by core count) rarely
+// collide on one shard's mutex.
+const maxPoolShards = 16
+
 // BufferPool is a fixed-capacity read cache of pages over a random-access
-// file, with LRU replacement. The heap is append-only and writes go straight
-// to the file, so the pool never holds dirty pages; Invalidate evicts stale
-// entries after an append or rewrite.
+// file, with per-shard LRU replacement. The heap is append-only and writes
+// go straight to the file, so the pool never holds dirty pages; Invalidate
+// evicts stale entries after an append or rewrite.
+//
+// The pool is sharded by page id: a single mutex (and an LRU list touched
+// on every hit) serializes concurrent segment scans, which is exactly the
+// contention profile of the shared-memory parallel plan. Each shard owns
+// 1/nth of the capacity and pages hash to shards by id, so a sequential
+// scan rotates through the shards instead of convoying on one lock. Within
+// a shard, a hit on the current LRU front skips the MoveToFront entirely —
+// the common case for a sequential scan re-reading the page it just
+// touched.
 type BufferPool struct {
+	src    io.ReaderAt
+	shards []poolShard
+}
+
+type poolShard struct {
 	mu    sync.Mutex
-	src   io.ReaderAt
 	cap   int
 	pages map[int]*list.Element
 	lru   *list.List // front = most recent
@@ -32,12 +50,35 @@ func NewBufferPool(src io.ReaderAt, capPages int) *BufferPool {
 	if capPages < 1 {
 		capPages = 1
 	}
-	return &BufferPool{
-		src:   src,
-		cap:   capPages,
-		pages: make(map[int]*list.Element, capPages),
-		lru:   list.New(),
+	// Keep every shard at least 4 pages deep so that a small pool does not
+	// thrash on hot pages that collide modulo the shard count — a pool of 4
+	// stays one LRU of 4, exactly the pre-sharding contract.
+	nshards := capPages / 4
+	if nshards > maxPoolShards {
+		nshards = maxPoolShards
 	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	bp := &BufferPool{src: src, shards: make([]poolShard, nshards)}
+	base, rem := capPages/nshards, capPages%nshards
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.cap = base
+		if i < rem { // spread the remainder so total capacity == capPages
+			sh.cap++
+		}
+		sh.pages = make(map[int]*list.Element, sh.cap)
+		sh.lru = list.New()
+	}
+	return bp
+}
+
+func (bp *BufferPool) shard(id int) *poolShard {
+	if id < 0 {
+		id = -id
+	}
+	return &bp.shards[id%len(bp.shards)]
 }
 
 // Get returns page id, reading it from the file on a miss. The returned
@@ -45,16 +86,19 @@ func NewBufferPool(src io.ReaderAt, capPages int) *BufferPool {
 // it across operations that may evict (it is safe for the duration of one
 // tuple-at-a-time scan step, which is how the engine uses it).
 func (bp *BufferPool) Get(id int) (page, error) {
-	bp.mu.Lock()
-	if el, ok := bp.pages[id]; ok {
-		bp.lru.MoveToFront(el)
-		bp.hits++
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.pages[id]; ok {
+		if el != sh.lru.Front() {
+			sh.lru.MoveToFront(el)
+		}
+		sh.hits++
 		p := el.Value.(*poolEntry).data
-		bp.mu.Unlock()
+		sh.mu.Unlock()
 		return p, nil
 	}
-	bp.misses++
-	bp.mu.Unlock()
+	sh.misses++
+	sh.mu.Unlock()
 
 	// Read outside the lock; concurrent readers may duplicate work for the
 	// same page but correctness is unaffected.
@@ -63,43 +107,54 @@ func (bp *BufferPool) Get(id int) (page, error) {
 		return nil, fmt.Errorf("engine: buffer pool read page %d: %w", id, err)
 	}
 
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.pages[id]; ok { // raced with another reader
-		bp.lru.MoveToFront(el)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.pages[id]; ok { // raced with another reader
+		if el != sh.lru.Front() {
+			sh.lru.MoveToFront(el)
+		}
 		return el.Value.(*poolEntry).data, nil
 	}
-	el := bp.lru.PushFront(&poolEntry{id: id, data: buf})
-	bp.pages[id] = el
-	for bp.lru.Len() > bp.cap {
-		back := bp.lru.Back()
-		bp.lru.Remove(back)
-		delete(bp.pages, back.Value.(*poolEntry).id)
+	el := sh.lru.PushFront(&poolEntry{id: id, data: buf})
+	sh.pages[id] = el
+	for sh.lru.Len() > sh.cap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.pages, back.Value.(*poolEntry).id)
 	}
 	return buf, nil
 }
 
 // Invalidate drops page id from the cache if present.
 func (bp *BufferPool) Invalidate(id int) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.pages[id]; ok {
-		bp.lru.Remove(el)
-		delete(bp.pages, id)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.pages[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.pages, id)
 	}
 }
 
 // InvalidateAll empties the cache.
 func (bp *BufferPool) InvalidateAll() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.pages = make(map[int]*list.Element, bp.cap)
-	bp.lru.Init()
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		sh.pages = make(map[int]*list.Element, sh.cap)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts across all shards.
 func (bp *BufferPool) Stats() (hits, misses int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }

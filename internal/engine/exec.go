@@ -5,15 +5,48 @@ import (
 	"sync"
 )
 
+// Relation is the scan contract the executors run over: a physical table
+// (page-granular segments, decode per row), a table's reusable-scratch view
+// (Table.Reuse), or a materialized row cache and its logically-ordered
+// views (row-granular segments, zero decode). Consumers must not retain
+// tuples past the callback unless the concrete relation documents otherwise
+// (only Materialized rows are stable).
+type Relation interface {
+	// Scan visits every tuple in the relation's order.
+	Scan(fn func(Tuple) error) error
+	// ScanSegment visits the tuples of one segment; segment bounds come
+	// from Segments and are page ranges for tables, row ranges for caches.
+	ScanSegment(from, to int, fn func(Tuple) error) error
+	// Segments splits the relation into n contiguous ranges of roughly
+	// equal size for parallel scanning.
+	Segments(n int) ([][2]int, error)
+}
+
+// Compile-time checks: all scan providers satisfy the contract.
+var (
+	_ Relation = (*Table)(nil)
+	_ Relation = (*Materialized)(nil)
+	_ Relation = (*MatView)(nil)
+	_ Relation = reuseRelation{}
+)
+
 // RunUDA executes a user-defined aggregate over a table under an engine
-// profile: the standard aggregation query plan. With Segments == 1 the scan
-// is sequential; otherwise the engine's built-in shared-nothing parallelism
-// is used — each segment aggregates independently and the states are merged
-// left-to-right, which requires the UDA to implement Merger.
+// profile: the standard aggregation query plan. Tuples are decoded fresh
+// per row (a UDA may retain them); the trainers run the same plan over the
+// decoded-row cache via RunUDAOn.
 func RunUDA(t *Table, u UDA, p Profile) (State, error) {
+	return RunUDAOn(t, u, p)
+}
+
+// RunUDAOn executes a user-defined aggregate over any relation. With
+// Segments == 1 the scan is sequential; otherwise the engine's built-in
+// shared-nothing parallelism is used — each segment aggregates
+// independently and the states are merged left-to-right, which requires the
+// UDA to implement Merger.
+func RunUDAOn(r Relation, u UDA, p Profile) (State, error) {
 	if p.Segments <= 1 {
 		s := u.Initialize()
-		err := t.Scan(func(tp Tuple) error {
+		err := r.Scan(func(tp Tuple) error {
 			spin(p.PerCallOverhead)
 			s = u.Transition(s, tp)
 			return nil
@@ -31,7 +64,7 @@ func RunUDA(t *Table, u UDA, p Profile) (State, error) {
 	if mc, ok := u.(interface{ CanMerge() bool }); ok && !mc.CanMerge() {
 		return nil, fmt.Errorf("engine: %d-segment plan requires a merge function", p.Segments)
 	}
-	segs, err := t.Segments(p.Segments)
+	segs, err := r.Segments(p.Segments)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +76,7 @@ func RunUDA(t *Table, u UDA, p Profile) (State, error) {
 		go func(i int, from, to int) {
 			defer wg.Done()
 			s := u.Initialize()
-			errs[i] = t.ScanPages(from, to, func(tp Tuple) error {
+			errs[i] = r.ScanSegment(from, to, func(tp Tuple) error {
 				spin(p.PerCallOverhead)
 				s = u.Transition(s, tp)
 				return nil
@@ -81,21 +114,27 @@ func copyState(s State) State {
 	return s
 }
 
-// RunSharedScan drives the shared-memory UDA plan: `workers` goroutines
-// scan disjoint page segments concurrently and deliver tuples to fn. The
-// aggregation state lives in shared memory owned by the caller (the model),
-// which is exactly how the paper's shared-memory variant keeps the
-// three-function abstraction while updating one model concurrently; the
-// concurrency scheme (Lock / AIG / NoLock) is the caller's choice of model
-// representation.
+// RunSharedScan drives the shared-memory UDA plan over a table; see
+// RunSharedScanOn.
 func RunSharedScan(t *Table, workers int, p Profile, fn func(worker int, tp Tuple) error) error {
+	return RunSharedScanOn(t, workers, p, fn)
+}
+
+// RunSharedScanOn drives the shared-memory UDA plan over any relation:
+// `workers` goroutines scan disjoint segments concurrently and deliver
+// tuples to fn. The aggregation state lives in shared memory owned by the
+// caller (the model), which is exactly how the paper's shared-memory
+// variant keeps the three-function abstraction while updating one model
+// concurrently; the concurrency scheme (Lock / AIG / NoLock) is the
+// caller's choice of model representation.
+func RunSharedScanOn(r Relation, workers int, p Profile, fn func(worker int, tp Tuple) error) error {
 	if workers <= 1 {
-		return t.Scan(func(tp Tuple) error {
+		return r.Scan(func(tp Tuple) error {
 			spin(p.PerCallOverhead)
 			return fn(0, tp)
 		})
 	}
-	segs, err := t.Segments(workers)
+	segs, err := r.Segments(workers)
 	if err != nil {
 		return err
 	}
@@ -105,7 +144,7 @@ func RunSharedScan(t *Table, workers int, p Profile, fn func(worker int, tp Tupl
 		wg.Add(1)
 		go func(i, from, to int) {
 			defer wg.Done()
-			errs[i] = t.ScanPages(from, to, func(tp Tuple) error {
+			errs[i] = r.ScanSegment(from, to, func(tp Tuple) error {
 				spin(p.PerCallOverhead)
 				return fn(i, tp)
 			})

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the decoded-row cache of the zero-allocation epoch
+// pipeline. Bismarck's epoch loop is a scan-bound aggregation query: the
+// seed engine paid a full decode-and-allocate pass per row per epoch, so a
+// 20-epoch run allocated ~20x the dataset and burned GC and memory
+// bandwidth instead of gradient FLOPs. A Materialized is a columnar,
+// immutable, decoded copy of a table built once (epoch 0 touches page
+// bytes, later epochs touch only the slabs), keyed to the table's version
+// counter so any physical mutation — Insert, Shuffle, ClusterBy, Rewrite —
+// invalidates it. Logical reordering (the ShuffleOnce/ShuffleAlways
+// strategies when the engine profile does not charge physical-rewrite cost)
+// permutes a per-trainer MatView row index instead of rewriting the heap.
+
+// Materialized is an immutable decoded copy of a table in columnar form:
+// one contiguous slab per numeric column (all dense-vector components of a
+// column share one []float64, all sparse indices one []int32, ...) plus
+// per-row Tuple views aliasing the slabs. Rows are stable for the lifetime
+// of the cache — unlike the reusable-scratch scan path, callers may retain
+// them (the reservoir samplers do).
+type Materialized struct {
+	version uint64
+	rows    []Tuple
+}
+
+// NumRows returns the number of cached rows.
+func (m *Materialized) NumRows() int { return len(m.rows) }
+
+// Version returns the table version this cache was built against.
+func (m *Materialized) Version() uint64 { return m.version }
+
+// Row returns row i in storage order. The tuple aliases the cache's slabs
+// and must be treated as read-only.
+func (m *Materialized) Row(i int) Tuple { return m.rows[i] }
+
+// Scan visits every cached row in storage order.
+func (m *Materialized) Scan(fn func(Tuple) error) error {
+	for _, tp := range m.rows {
+		if err := fn(tp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanSegment visits rows [from, to) in storage order — the row-granular
+// analogue of Table.ScanPages.
+func (m *Materialized) ScanSegment(from, to int, fn func(Tuple) error) error {
+	if from < 0 || to > len(m.rows) || from > to {
+		return fmt.Errorf("engine: materialized segment [%d,%d) out of [0,%d]", from, to, len(m.rows))
+	}
+	for _, tp := range m.rows[from:to] {
+		if err := fn(tp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Segments splits the rows into n contiguous ranges of roughly equal size.
+func (m *Materialized) Segments(n int) ([][2]int, error) {
+	return rowSegments(len(m.rows), n), nil
+}
+
+// View returns a fresh logically-ordered view over the cache. Each trainer
+// run takes its own view so one run's shuffle cannot leak into another's
+// notion of "stored order".
+func (m *Materialized) View() *MatView { return &MatView{m: m} }
+
+// MatView is one trainer's ordered view over a materialization: the row
+// permutation that logical shuffles mutate. A nil permutation means storage
+// order, so an unshuffled view costs nothing. Views are not safe for
+// concurrent mutation; trainers permute between epochs only.
+type MatView struct {
+	m    *Materialized
+	perm []int32
+}
+
+// NumRows returns the number of rows in the view.
+func (v *MatView) NumRows() int { return len(v.m.rows) }
+
+// Permute reshuffles the view's row order in place — the logical equivalent
+// of the ORDER BY RANDOM() table rewrite, at the cost of an O(n) index
+// shuffle instead of a full decode-sort-encode pass over the heap.
+func (v *MatView) Permute(rng *rand.Rand) {
+	if v.perm == nil {
+		v.perm = make([]int32, len(v.m.rows))
+		for i := range v.perm {
+			v.perm[i] = int32(i)
+		}
+	}
+	rng.Shuffle(len(v.perm), func(i, j int) { v.perm[i], v.perm[j] = v.perm[j], v.perm[i] })
+}
+
+// Scan visits every row in the view's logical order.
+func (v *MatView) Scan(fn func(Tuple) error) error {
+	if v.perm == nil {
+		return v.m.Scan(fn)
+	}
+	for _, ri := range v.perm {
+		if err := fn(v.m.rows[ri]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanSegment visits logical positions [from, to) of the view.
+func (v *MatView) ScanSegment(from, to int, fn func(Tuple) error) error {
+	if v.perm == nil {
+		return v.m.ScanSegment(from, to, fn)
+	}
+	if from < 0 || to > len(v.perm) || from > to {
+		return fmt.Errorf("engine: view segment [%d,%d) out of [0,%d]", from, to, len(v.perm))
+	}
+	for _, ri := range v.perm[from:to] {
+		if err := fn(v.m.rows[ri]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Segments splits the view's logical positions into n contiguous ranges.
+func (v *MatView) Segments(n int) ([][2]int, error) {
+	return rowSegments(len(v.m.rows), n), nil
+}
+
+// rowSegments splits [0, rows) into n roughly equal contiguous ranges.
+func rowSegments(rows, n int) [][2]int {
+	if n < 1 {
+		n = 1
+	}
+	if rows == 0 {
+		return [][2]int{{0, 0}}
+	}
+	if n > rows {
+		n = rows
+	}
+	segs := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		segs = append(segs, [2]int{i * rows / n, (i + 1) * rows / n})
+	}
+	return segs
+}
+
+// MatBuilder accumulates decoded rows into the columnar slabs of a
+// Materialized. Table.Materialize drives it from a reusable-scratch scan;
+// the spec layer's view projection drives it directly so a freshly
+// projected view is born with a primed cache instead of paying an
+// insert-encode-decode round trip.
+type MatBuilder struct {
+	schema Schema
+	n      int
+
+	ints  [][]int64   // per TInt64 column
+	flts  [][]float64 // per TFloat64 column
+	strs  [][]string  // per TString column
+	f64s  [][]float64 // per vector column: dense components / sparse values
+	i32s  [][]int32   // per vector column: sparse indices / int32 entries
+	offs  [][]int32   // per vector column: row offsets into the slabs (len n+1)
+	isVec []bool
+}
+
+// NewMatBuilder returns a builder for the given schema.
+func NewMatBuilder(schema Schema) *MatBuilder {
+	b := &MatBuilder{
+		schema: schema,
+		ints:   make([][]int64, len(schema)),
+		flts:   make([][]float64, len(schema)),
+		strs:   make([][]string, len(schema)),
+		f64s:   make([][]float64, len(schema)),
+		i32s:   make([][]int32, len(schema)),
+		offs:   make([][]int32, len(schema)),
+		isVec:  make([]bool, len(schema)),
+	}
+	for c, col := range schema {
+		switch col.Type {
+		case TDenseVec, TSparseVec, TInt32Vec:
+			b.isVec[c] = true
+			b.offs[c] = append(b.offs[c], 0)
+		}
+	}
+	return b
+}
+
+// NumRows returns the number of rows added so far.
+func (b *MatBuilder) NumRows() int { return b.n }
+
+// Add copies one row into the slabs, validating it against the schema. The
+// tuple may alias reusable scratch; nothing of it is retained.
+func (b *MatBuilder) Add(tp Tuple) error {
+	if len(tp) != len(b.schema) {
+		return corrupt("", "row has %d columns, schema wants %d", len(tp), len(b.schema))
+	}
+	for c, v := range tp {
+		if v.Type != b.schema[c].Type {
+			return corrupt("", "column %d has type %s, schema wants %s", c, v.Type, b.schema[c].Type)
+		}
+		switch v.Type {
+		case TInt64:
+			b.ints[c] = append(b.ints[c], v.Int)
+		case TFloat64:
+			b.flts[c] = append(b.flts[c], v.Float)
+		case TString:
+			b.strs[c] = append(b.strs[c], v.Str)
+		case TDenseVec:
+			b.f64s[c] = append(b.f64s[c], v.Dense...)
+			b.offs[c] = append(b.offs[c], int32(len(b.f64s[c])))
+		case TSparseVec:
+			if len(v.Sparse.Idx) != len(v.Sparse.Val) {
+				return corrupt("", "column %d sparse vec has %d indices, %d values",
+					c, len(v.Sparse.Idx), len(v.Sparse.Val))
+			}
+			b.i32s[c] = append(b.i32s[c], v.Sparse.Idx...)
+			b.f64s[c] = append(b.f64s[c], v.Sparse.Val...)
+			b.offs[c] = append(b.offs[c], int32(len(b.i32s[c])))
+		case TInt32Vec:
+			b.i32s[c] = append(b.i32s[c], v.Ints...)
+			b.offs[c] = append(b.offs[c], int32(len(b.i32s[c])))
+		default:
+			return corrupt("", "column %d has unsupported type %s", c, v.Type)
+		}
+	}
+	b.n++
+	return nil
+}
+
+// Build assembles the per-row tuple views over the slabs and returns the
+// finished cache, stamped with the given table version. The builder must
+// not be reused afterwards.
+func (b *MatBuilder) Build(version uint64) *Materialized {
+	nc := len(b.schema)
+	rows := make([]Tuple, b.n)
+	vals := make([]Value, b.n*nc) // one flat backing array for all row views
+	for r := 0; r < b.n; r++ {
+		row := vals[r*nc : (r+1)*nc : (r+1)*nc]
+		for c, col := range b.schema {
+			v := &row[c]
+			v.Type = col.Type
+			switch col.Type {
+			case TInt64:
+				v.Int = b.ints[c][r]
+			case TFloat64:
+				v.Float = b.flts[c][r]
+			case TString:
+				v.Str = b.strs[c][r]
+			case TDenseVec:
+				lo, hi := b.offs[c][r], b.offs[c][r+1]
+				v.Dense = b.f64s[c][lo:hi:hi]
+			case TSparseVec:
+				lo, hi := b.offs[c][r], b.offs[c][r+1]
+				v.Sparse.Idx = b.i32s[c][lo:hi:hi]
+				v.Sparse.Val = b.f64s[c][lo:hi:hi]
+			case TInt32Vec:
+				lo, hi := b.offs[c][r], b.offs[c][r+1]
+				v.Ints = b.i32s[c][lo:hi:hi]
+			}
+		}
+		rows[r] = Tuple(row)
+	}
+	return &Materialized{version: version, rows: rows}
+}

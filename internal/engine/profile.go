@@ -22,6 +22,14 @@ type Profile struct {
 	// segment boundaries in the pure-UDA plan: when true, states are deep
 	// copied through their encoded form at merge time if they support it.
 	StateCopyPerMerge bool
+	// PhysicalReorder forces the ordering strategies to reorder the table
+	// on disk — the paper-faithful ORDER BY RANDOM() full-table rewrite —
+	// and the epoch scans to decode page bytes every epoch. The emulated
+	// engine profiles set it (a hosted UDA cannot see past the tuple-at-a-
+	// time scan interface); the zero-value native profile leaves it false,
+	// letting trainers run over the decoded-row cache and express shuffles
+	// as O(n) permutations of the cache's row index.
+	PhysicalReorder bool
 }
 
 // Engine profiles used across the experiments. The overhead constants were
@@ -29,9 +37,9 @@ type Profile struct {
 // spacing as Table 2's NULL columns (PostgreSQL ~0.5 us/tuple, DBMS A ~35
 // us/tuple, DBMS B ~PostgreSQL/segment rate on 8 segments).
 var (
-	ProfilePostgres = Profile{Name: "PostgreSQL", Segments: 1, PerCallOverhead: 0}
-	ProfileDBMSA    = Profile{Name: "DBMS A", Segments: 1, PerCallOverhead: 12 * time.Microsecond, StateCopyPerMerge: true}
-	ProfileDBMSB    = Profile{Name: "DBMS B", Segments: 8, PerCallOverhead: 0}
+	ProfilePostgres = Profile{Name: "PostgreSQL", Segments: 1, PerCallOverhead: 0, PhysicalReorder: true}
+	ProfileDBMSA    = Profile{Name: "DBMS A", Segments: 1, PerCallOverhead: 12 * time.Microsecond, StateCopyPerMerge: true, PhysicalReorder: true}
+	ProfileDBMSB    = Profile{Name: "DBMS B", Segments: 8, PerCallOverhead: 0, PhysicalReorder: true}
 )
 
 // Profiles lists the three engines in paper order.

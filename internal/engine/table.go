@@ -1,19 +1,28 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Table is a named, typed heap of tuples.
+// Table is a named, typed heap of tuples, with a versioned decoded-row
+// cache over it. The version counter is bumped by every physical mutation
+// (Insert, Shuffle, ClusterBy, CopyTo-into) so cached materializations can
+// tell when they are stale.
 type Table struct {
 	Name   string
 	Schema Schema
 	heap   *Heap
+
+	version atomic.Uint64
+	matMu   sync.Mutex
+	mat     *Materialized
 }
 
 // NewMemTable creates an in-memory table.
@@ -35,8 +44,16 @@ func (t *Table) Insert(tp Tuple) error {
 	if !tp.Matches(t.Schema) {
 		return fmt.Errorf("engine: tuple does not match schema of %s", t.Name)
 	}
-	return t.heap.Append(tp.Encode())
+	if err := t.heap.Append(tp.Encode()); err != nil {
+		return err
+	}
+	t.version.Add(1)
+	return nil
 }
+
+// Version returns the table's mutation counter. Any physical change to the
+// stored rows bumps it; equal versions guarantee identical contents.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // MustInsert inserts and panics on error; convenient for generators.
 func (t *Table) MustInsert(tp Tuple) {
@@ -54,27 +71,171 @@ func (t *Table) NumPages() int { return t.heap.NumPages() }
 // Flush seals the in-memory tail page (required before parallel scans).
 func (t *Table) Flush() error { return t.heap.Flush() }
 
-// Scan visits every tuple in storage order.
+// Scan visits every tuple in storage order. Each tuple is freshly
+// allocated, so callers may retain them; bulk read paths that do not retain
+// rows should prefer ScanReuse or the materialized cache.
 func (t *Table) Scan(fn func(Tuple) error) error {
-	return t.heap.Scan(func(rec []byte) error {
+	return t.ScanPages(0, t.heap.NumPages(), fn)
+}
+
+// ScanPages visits tuples stored in pages [from, to) — the unit of
+// shared-nothing segmentation. Records that fail to decode or do not match
+// the table schema (a truncated heap record would otherwise surface as an
+// index panic deep inside task code) return a *CorruptRecordError.
+func (t *Table) ScanPages(from, to int, fn func(Tuple) error) error {
+	return t.heap.ScanPages(from, to, func(rec []byte) error {
 		tp, err := DecodeTuple(rec)
 		if err != nil {
+			return corrupt(t.Name, "%v", err)
+		}
+		if !tp.Matches(t.Schema) {
+			return corrupt(t.Name, "decoded %d columns, schema wants %d (or type mismatch)",
+				len(tp), len(t.Schema))
+		}
+		return fn(tp)
+	})
+}
+
+// ScanSegment makes Table satisfy the Relation scan contract; segments are
+// page ranges.
+func (t *Table) ScanSegment(from, to int, fn func(Tuple) error) error {
+	return t.ScanPages(from, to, fn)
+}
+
+// ScanReuse visits every tuple in storage order through one reusable
+// decode scratch: the tuple passed to fn (and every slice-typed cell in it)
+// is overwritten by the next row and must not be retained. Steady state
+// allocates nothing beyond the scratch's high-water mark.
+func (t *Table) ScanReuse(fn func(Tuple) error) error {
+	return t.ScanPagesReuse(0, t.heap.NumPages(), fn)
+}
+
+// ScanPagesReuse is ScanReuse over the page range [from, to). Each call
+// owns its own scratch, so concurrent segment scans are safe.
+func (t *Table) ScanPagesReuse(from, to int, fn func(Tuple) error) error {
+	sc := NewTupleScratch(t.Schema)
+	return t.heap.ScanPages(from, to, func(rec []byte) error {
+		tp, err := DecodeTupleInto(rec, sc)
+		if err != nil {
+			var ce *CorruptRecordError
+			if errors.As(err, &ce) && ce.Table == "" {
+				ce.Table = t.Name
+			}
 			return err
 		}
 		return fn(tp)
 	})
 }
 
-// ScanPages visits tuples stored in pages [from, to) — the unit of
-// shared-nothing segmentation.
-func (t *Table) ScanPages(from, to int, fn func(Tuple) error) error {
-	return t.heap.ScanPages(from, to, func(rec []byte) error {
-		tp, err := DecodeTuple(rec)
-		if err != nil {
-			return err
+// reuseRelation adapts a table to the Relation contract through the
+// reusable-scratch decode path. Tuples are only valid during the callback.
+type reuseRelation struct{ t *Table }
+
+func (r reuseRelation) Scan(fn func(Tuple) error) error { return r.t.ScanReuse(fn) }
+func (r reuseRelation) ScanSegment(from, to int, fn func(Tuple) error) error {
+	return r.t.ScanPagesReuse(from, to, fn)
+}
+func (r reuseRelation) Segments(n int) ([][2]int, error) { return r.t.Segments(n) }
+
+// Reuse returns a Relation over the table that decodes through reusable
+// scratch buffers instead of allocating per row. Safe for consumers that do
+// not retain tuples past the callback (every IGD transition function).
+func (t *Table) Reuse() Relation { return reuseRelation{t} }
+
+// MaterializeLimitBytes caps how much heap a table may occupy and still be
+// eligible for the decoded-row cache; larger tables fall back to the
+// reusable-scratch scan path. The limit is deliberately generous — the
+// cache is the whole point of the epoch pipeline — but keeps a pathological
+// table from doubling its footprint in decoded form.
+var MaterializeLimitBytes = 1 << 30
+
+// ErrUncacheable reports that a table exceeds MaterializeLimitBytes;
+// callers fall back to ScanReuse.
+var ErrUncacheable = errors.New("engine: table exceeds the materialization limit")
+
+// Materialize returns the table's decoded-row cache, building (or
+// rebuilding) it when the table version has moved since the last build.
+// The returned cache is immutable and shared: callers that reorder rows
+// take a View. Only this call touches page bytes; steady-state epochs scan
+// the slabs.
+func (t *Table) Materialize() (*Materialized, error) {
+	t.matMu.Lock()
+	defer t.matMu.Unlock()
+	v := t.Version()
+	if t.mat != nil && t.mat.version == v {
+		return t.mat, nil
+	}
+	if est := int64(t.heap.NumPages()+1) * PageSize; est > int64(MaterializeLimitBytes) {
+		return nil, ErrUncacheable
+	}
+	b := NewMatBuilder(t.Schema)
+	if err := t.ScanReuse(func(tp Tuple) error { return b.Add(tp) }); err != nil {
+		return nil, err
+	}
+	t.mat = b.Build(v)
+	return t.mat, nil
+}
+
+// CachedRows returns the existing cache when it is still fresh, or nil —
+// it never triggers a build. Loss evaluations use it so a physically
+// reordered table (whose cache goes stale every epoch) does not pay a
+// rebuild per loss pass.
+func (t *Table) CachedRows() *Materialized {
+	t.matMu.Lock()
+	defer t.matMu.Unlock()
+	if t.mat != nil && t.mat.version == t.Version() {
+		return t.mat
+	}
+	return nil
+}
+
+// PrimeCache installs rows decoded elsewhere as the table's cache — the
+// spec layer's view projection builds the slabs while inserting, saving the
+// initial decode pass. The builder must hold exactly the table's rows, in
+// storage order, under the table's schema.
+func (t *Table) PrimeCache(b *MatBuilder) error {
+	t.matMu.Lock()
+	defer t.matMu.Unlock()
+	if b.NumRows() != t.NumRows() {
+		return fmt.Errorf("engine: PrimeCache: builder has %d rows, table %s has %d",
+			b.NumRows(), t.Name, t.NumRows())
+	}
+	if len(b.schema) != len(t.Schema) {
+		return fmt.Errorf("engine: PrimeCache: schema arity mismatch for %s", t.Name)
+	}
+	for i, c := range b.schema {
+		if c.Type != t.Schema[i].Type {
+			return fmt.Errorf("engine: PrimeCache: column %d type mismatch for %s", i, t.Name)
 		}
-		return fn(tp)
-	})
+	}
+	t.mat = b.Build(t.Version())
+	return nil
+}
+
+// ScanStable visits every tuple with rows the caller may retain past the
+// callback (the rule the reservoir samplers need): the fresh decoded-row
+// cache when present — its rows are stable and pinned by the table anyway —
+// otherwise freshly allocated tuples via Scan. It never builds a cache, so
+// retaining a small sample cannot pin a whole decoded table.
+func (t *Table) ScanStable(fn func(Tuple) error) error {
+	if mat := t.CachedRows(); mat != nil {
+		return mat.Scan(fn)
+	}
+	return t.Scan(fn)
+}
+
+// Rows returns the fastest safe bulk-read path that never builds or pins a
+// cache: the materialized cache when one is already fresh (e.g. a primed
+// training view), otherwise the reusable-scratch relation — so a one-shot
+// scan of a large uncached table does not double its memory footprint.
+// Tuples seen through the reuse fallback are only valid during the
+// callback, so callers must not retain them (retaining consumers use
+// Materialize or Scan explicitly).
+func (t *Table) Rows() Relation {
+	if mat := t.CachedRows(); mat != nil {
+		return mat
+	}
+	return reuseRelation{t}
 }
 
 // Segments splits the table's pages into n contiguous ranges of roughly
@@ -130,7 +291,11 @@ func (t *Table) Shuffle(rng *rand.Rand) error {
 	for i := range rows {
 		out[i] = rows[i].tp.Encode()
 	}
-	return t.heap.Rewrite(out)
+	if err := t.heap.Rewrite(out); err != nil {
+		return err
+	}
+	t.version.Add(1)
+	return nil
 }
 
 // ClusterBy physically rewrites the table ordered by the given key — the
@@ -158,7 +323,11 @@ func (t *Table) ClusterBy(key func(Tuple) float64) error {
 	for i := range recs {
 		out[i] = recs[i].b
 	}
-	return t.heap.Rewrite(out)
+	if err := t.heap.Rewrite(out); err != nil {
+		return err
+	}
+	t.version.Add(1)
+	return nil
 }
 
 // CopyTo appends every row of t into dst (schemas must match).
@@ -166,9 +335,11 @@ func (t *Table) CopyTo(dst *Table) error {
 	if len(t.Schema) != len(dst.Schema) {
 		return fmt.Errorf("engine: CopyTo schema arity mismatch")
 	}
-	return t.heap.Scan(func(rec []byte) error {
+	err := t.heap.Scan(func(rec []byte) error {
 		return dst.heap.Append(append([]byte(nil), rec...))
 	})
+	dst.version.Add(1)
+	return err
 }
 
 // Close releases the table's heap.

@@ -221,8 +221,19 @@ func DecodeTuple(buf []byte) (Tuple, error) {
 			}
 			v.Sparse.Idx = make([]int32, n)
 			v.Sparse.Val = make([]float64, n)
+			prev := int32(-1)
 			for i := 0; i < n; i++ {
-				v.Sparse.Idx[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+				ix := int32(binary.LittleEndian.Uint32(rest[4*i:]))
+				// Sparse indices are strictly ascending and non-negative by
+				// construction (vector.NewSparse); a violation means the
+				// record bytes are corrupt, and must be rejected here — the
+				// sorted-index fast paths of the vector kernels trust the
+				// last index to bound all of them.
+				if ix <= prev {
+					return nil, fmt.Errorf("engine: decode: sparse vec indices not ascending")
+				}
+				prev = ix
+				v.Sparse.Idx[i] = ix
 			}
 			rest = rest[4*n:]
 			for i := 0; i < n; i++ {
@@ -255,6 +266,166 @@ func readLen(buf []byte) (int, []byte, error) {
 		return 0, nil, fmt.Errorf("engine: decode: short length prefix")
 	}
 	return int(binary.LittleEndian.Uint32(buf)), buf[4:], nil
+}
+
+// CorruptRecordError reports a heap record that failed to decode or whose
+// decoded shape (arity or column types) does not match the table schema.
+// Scans return it instead of letting a truncated record surface later as an
+// index panic inside task code; callers can errors.As for it to distinguish
+// storage corruption from ordinary scan-callback errors.
+type CorruptRecordError struct {
+	Table  string // table name, when known
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptRecordError) Error() string {
+	if e.Table == "" {
+		return "engine: corrupt record: " + e.Reason
+	}
+	return fmt.Sprintf("engine: corrupt record in table %q: %s", e.Table, e.Reason)
+}
+
+// corrupt builds a CorruptRecordError with a formatted reason.
+func corrupt(table, format string, args ...any) *CorruptRecordError {
+	return &CorruptRecordError{Table: table, Reason: fmt.Sprintf(format, args...)}
+}
+
+// TupleScratch holds the reusable buffers of the zero-allocation decode
+// path: one Value slice plus per-column numeric backing arrays that grow to
+// the high-water mark and are then reused for every subsequent record. One
+// scratch serves one sequential scan; it is not safe for concurrent use.
+// String cells still allocate (Go strings are immutable), but no schema on
+// the training hot path carries strings.
+type TupleScratch struct {
+	schema Schema
+	tup    Tuple
+	f64    [][]float64 // per-column float backing (dense components, sparse values)
+	i32    [][]int32   // per-column int backing (sparse indices, int32 vectors)
+}
+
+// NewTupleScratch returns a scratch sized for the schema's arity.
+func NewTupleScratch(s Schema) *TupleScratch {
+	return &TupleScratch{
+		schema: s,
+		tup:    make(Tuple, len(s)),
+		f64:    make([][]float64, len(s)),
+		i32:    make([][]int32, len(s)),
+	}
+}
+
+// growF64 returns the column's float buffer resized to n, reusing capacity.
+func (sc *TupleScratch) growF64(col, n int) []float64 {
+	if cap(sc.f64[col]) < n {
+		sc.f64[col] = make([]float64, n)
+	}
+	sc.f64[col] = sc.f64[col][:n]
+	return sc.f64[col]
+}
+
+// growI32 returns the column's int32 buffer resized to n, reusing capacity.
+func (sc *TupleScratch) growI32(col, n int) []int32 {
+	if cap(sc.i32[col]) < n {
+		sc.i32[col] = make([]int32, n)
+	}
+	sc.i32[col] = sc.i32[col][:n]
+	return sc.i32[col]
+}
+
+// DecodeTupleInto parses a record produced by Encode into the scratch's
+// reusable buffers, validating arity and column types against the scratch's
+// schema as it goes. The returned tuple (and every slice-typed cell in it)
+// aliases the scratch and is only valid until the next call; callers that
+// retain rows must use DecodeTuple instead. Steady state allocates nothing.
+func DecodeTupleInto(buf []byte, sc *TupleScratch) (Tuple, error) {
+	col := 0
+	for len(buf) > 0 {
+		if col >= len(sc.schema) {
+			return nil, corrupt("", "record has more than the schema's %d columns", len(sc.schema))
+		}
+		ty := Type(buf[0])
+		if want := sc.schema[col].Type; ty != want {
+			return nil, corrupt("", "column %d has type tag %s, schema wants %s", col, ty, want)
+		}
+		buf = buf[1:]
+		v := &sc.tup[col]
+		*v = Value{Type: ty}
+		switch ty {
+		case TInt64:
+			if len(buf) < 8 {
+				return nil, corrupt("", "short int64 in column %d", col)
+			}
+			v.Int = int64(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case TFloat64:
+			if len(buf) < 8 {
+				return nil, corrupt("", "short float64 in column %d", col)
+			}
+			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case TString:
+			n, rest, err := readLen(buf)
+			if err != nil || len(rest) < n {
+				return nil, corrupt("", "short string in column %d", col)
+			}
+			v.Str = string(rest[:n])
+			buf = rest[n:]
+		case TDenseVec:
+			n, rest, err := readLen(buf)
+			if err != nil || len(rest) < 8*n {
+				return nil, corrupt("", "short dense vec in column %d", col)
+			}
+			dst := sc.growF64(col, n)
+			for i := 0; i < n; i++ {
+				dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+			}
+			v.Dense = dst
+			buf = rest[8*n:]
+		case TSparseVec:
+			n, rest, err := readLen(buf)
+			if err != nil || len(rest) < 12*n {
+				return nil, corrupt("", "short sparse vec in column %d", col)
+			}
+			idx := sc.growI32(col, n)
+			val := sc.growF64(col, n)
+			prev := int32(-1)
+			for i := 0; i < n; i++ {
+				ix := int32(binary.LittleEndian.Uint32(rest[4*i:]))
+				// Same ascending-index invariant as DecodeTuple: the vector
+				// kernels' fast paths trust the last index to bound all of
+				// them, so corrupt orderings must die here, typed.
+				if ix <= prev {
+					return nil, corrupt("", "sparse vec indices not ascending in column %d", col)
+				}
+				prev = ix
+				idx[i] = ix
+			}
+			rest = rest[4*n:]
+			for i := 0; i < n; i++ {
+				val[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+			}
+			v.Sparse.Idx, v.Sparse.Val = idx, val
+			buf = rest[8*n:]
+		case TInt32Vec:
+			n, rest, err := readLen(buf)
+			if err != nil || len(rest) < 4*n {
+				return nil, corrupt("", "short int32 vec in column %d", col)
+			}
+			dst := sc.growI32(col, n)
+			for i := 0; i < n; i++ {
+				dst[i] = int32(binary.LittleEndian.Uint32(rest[4*i:]))
+			}
+			v.Ints = dst
+			buf = rest[4*n:]
+		default:
+			return nil, corrupt("", "unknown type tag %d in column %d", uint8(ty), col)
+		}
+		col++
+	}
+	if col != len(sc.schema) {
+		return nil, corrupt("", "record has %d columns, schema wants %d", col, len(sc.schema))
+	}
+	return sc.tup, nil
 }
 
 // Matches reports whether the tuple's value types match the schema.

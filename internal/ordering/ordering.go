@@ -26,6 +26,15 @@ func (ShuffleAlways) Prepare(tbl *engine.Table, _ int, rng *rand.Rand) error {
 	return tbl.Shuffle(rng)
 }
 
+// PrepareLogical implements core.LogicalOrderStrategy: when the engine
+// profile does not charge physical-rewrite cost, the per-epoch reshuffle is
+// an O(n) permutation of the cache's row index instead of a full heap
+// rewrite.
+func (ShuffleAlways) PrepareLogical(v *engine.MatView, _ int, rng *rand.Rand) error {
+	v.Permute(rng)
+	return nil
+}
+
 // ShuffleOnce shuffles only before the first epoch — Bismarck's default.
 // Convergence per epoch is marginally worse than ShuffleAlways, but without
 // the per-epoch rewrite more epochs fit in the same wall-clock time.
@@ -42,6 +51,14 @@ func (ShuffleOnce) Prepare(tbl *engine.Table, epoch int, rng *rand.Rand) error {
 	return nil
 }
 
+// PrepareLogical implements core.LogicalOrderStrategy.
+func (ShuffleOnce) PrepareLogical(v *engine.MatView, epoch int, rng *rand.Rand) error {
+	if epoch == 0 {
+		v.Permute(rng)
+	}
+	return nil
+}
+
 // Clustered trains on the stored order without touching it. When the table
 // is physically clustered by a value correlated with the labels (as tables
 // inside an RDBMS often are), this is the pathological ordering analyzed in
@@ -54,10 +71,17 @@ func (Clustered) Name() string { return "Clustered" }
 // Prepare implements core.OrderStrategy.
 func (Clustered) Prepare(*engine.Table, int, *rand.Rand) error { return nil }
 
+// PrepareLogical implements core.LogicalOrderStrategy: training on the
+// stored order needs no permutation.
+func (Clustered) PrepareLogical(*engine.MatView, int, *rand.Rand) error { return nil }
+
 var (
-	_ core.OrderStrategy = ShuffleAlways{}
-	_ core.OrderStrategy = ShuffleOnce{}
-	_ core.OrderStrategy = Clustered{}
+	_ core.OrderStrategy        = ShuffleAlways{}
+	_ core.OrderStrategy        = ShuffleOnce{}
+	_ core.OrderStrategy        = Clustered{}
+	_ core.LogicalOrderStrategy = ShuffleAlways{}
+	_ core.LogicalOrderStrategy = ShuffleOnce{}
+	_ core.LogicalOrderStrategy = Clustered{}
 )
 
 // All returns the three strategies in the order Figure 8 plots them.

@@ -147,6 +147,15 @@ func (tr *Trainer) Run(tbl *engine.Table) (*core.Result, error) {
 		return nil, fmt.Errorf("parallel: unknown mode %v", tr.Mode)
 	}
 
+	// The worker segment scans run over whichever epoch pipeline
+	// core.EpochSource picks: steady-state cached epochs with logical
+	// shuffles, or the paper-faithful physical reorder + reuse-scratch
+	// decode.
+	src, prepare, err := core.EpochSource(tbl, order, tr.Profile)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &core.Result{}
 	start := time.Now()
 	prevLoss := math.NaN()
@@ -157,18 +166,18 @@ func (tr *Trainer) Run(tbl *engine.Table) (*core.Result, error) {
 			return res, core.ErrDeadline
 		}
 		epochStart := time.Now()
-		if err := order.Prepare(tbl, e, rng); err != nil {
+		if err := prepare(e, rng); err != nil {
 			return nil, err
 		}
 		alpha := tr.Step.Alpha(e)
 		var err error
 		if tr.Mode == Lock {
-			err = engine.RunSharedScan(tbl, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
+			err = engine.RunSharedScanOn(src, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
 				lockedStep(tp, alpha)
 				return nil
 			})
 		} else {
-			err = engine.RunSharedScan(tbl, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
+			err = engine.RunSharedScanOn(src, workers, tr.Profile, func(_ int, tp engine.Tuple) error {
 				tr.Task.Step(model, tp, alpha)
 				return nil
 			})

@@ -58,10 +58,14 @@ func (r *Reservoir) Len() int { return len(r.buf) }
 func (r *Reservoir) Seen() int { return r.seen }
 
 // SampleTable scans tbl once and returns a uniform sample of up to
-// capTuples rows.
+// capTuples rows. The reservoir retains tuples past the scan callback, so
+// the scan goes through ScanStable — rows from an already-fresh cache or
+// freshly allocated tuples, never the reusable-scratch path, and never a
+// cache built just for the sample (which would pin a full decoded copy of
+// a table this trainer exists to avoid holding).
 func SampleTable(tbl *engine.Table, capTuples int, rng *rand.Rand) ([]engine.Tuple, error) {
 	r := NewReservoir(capTuples, rng)
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.ScanStable(func(tp engine.Tuple) error {
 		r.Offer(tp)
 		return nil
 	})

@@ -147,7 +147,9 @@ func (tr *MRSTrainer) Run(tbl *engine.Table) (*core.Result, error) {
 		alpha := tr.Step.Alpha(pass)
 		setAlpha(alpha)
 		resv := NewReservoir(tr.BufCap, rng)
-		err := tbl.Scan(func(tp engine.Tuple) error {
+		// ScanStable: the reservoir retains tuples, and MRS must not build
+		// a cache for a table it exists to avoid holding twice.
+		err := tbl.ScanStable(func(tp engine.Tuple) error {
 			if dropped := resv.Offer(tp); dropped != nil {
 				tr.Task.Step(model, dropped, alpha)
 				ioSteps.Add(1)

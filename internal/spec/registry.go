@@ -138,7 +138,7 @@ func Tasks() []*TaskSpec {
 // returns the maximum dimension.
 func InferVecDim(tbl *engine.Table, col int) (int, error) {
 	dim := 0
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		switch tp[col].Type {
 		case engine.TDenseVec:
 			if d := len(tp[col].Dense); d > dim {
@@ -165,7 +165,7 @@ func InferVecDim(tbl *engine.Table, col int) (int, error) {
 // index column (matrix rows/cols, vertex ids, class labels).
 func InferMaxInt(tbl *engine.Table, col int) (int, error) {
 	maxV := int64(-1)
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		v := tp[col].Int
 		if tp[col].Type == engine.TFloat64 {
 			v = int64(tp[col].Float)
@@ -189,7 +189,7 @@ func InferMaxInt(tbl *engine.Table, col int) (int, error) {
 // plus one (the extent of CRF feature/label id spaces).
 func InferMaxInt32(tbl *engine.Table, col int) (int, error) {
 	maxV := int32(-1)
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		for _, v := range tp[col].Ints {
 			if v > maxV {
 				maxV = v

@@ -134,14 +134,26 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 		}
 	}
 
+	// The projection runs through the zero-allocation scratch machinery:
+	// the source is decoded through reusable buffers, one row tuple is
+	// reused for every output row (Insert encodes it immediately, and the
+	// cache builder copies it into its slabs), and the finished view is
+	// born with a primed decoded-row cache so the trainers' first epoch
+	// never pays an insert-encode-decode round trip. Priming honors the
+	// same budget Table.Materialize enforces — a source past the limit
+	// must not get a full decoded copy forced on it here.
 	view := engine.NewMemTable(src.Name+"_view", out)
+	var builder *engine.MatBuilder
+	if int64(src.NumPages()+1)*engine.PageSize <= int64(engine.MaterializeLimitBytes) {
+		builder = engine.NewMatBuilder(out)
+	}
+	row := make(engine.Tuple, n)
 	rowNum := int64(0)
-	err = src.Scan(func(tp engine.Tuple) error {
+	err = src.ScanReuse(func(tp engine.Tuple) error {
 		ok, err := filter(tp)
 		if err != nil || !ok {
 			return err
 		}
-		row := make(engine.Tuple, n)
 		for i := range row {
 			switch {
 			case srcIdx[i] >= 0:
@@ -153,10 +165,20 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 			}
 		}
 		rowNum++
+		if builder != nil {
+			if err := builder.Add(row); err != nil {
+				return err
+			}
+		}
 		return view.Insert(row)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if builder != nil {
+		if err := view.PrimeCache(builder); err != nil {
+			return nil, err
+		}
 	}
 	return &View{Table: view, HasLabel: srcIdx[labelIdx] >= 0}, nil
 }

@@ -288,7 +288,10 @@ func (s *Session) predict(st *spec.Statement) error {
 	var preds []prediction
 	labelIdx := len(ts.Schema) - 1
 	var n, pos, correct int
-	err = view.Table.Scan(func(tp engine.Tuple) error {
+	// The batch scoring loop reads through the view's primed decoded-row
+	// cache (falling back to reusable scratch); it copies out id and score,
+	// never the tuple itself.
+	err = view.Table.Rows().Scan(func(tp engine.Tuple) error {
 		score := ts.Predict(task, w, tp)
 		id := int64(n)
 		if tp[0].Type == engine.TInt64 {

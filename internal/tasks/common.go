@@ -132,6 +132,32 @@ func axpyModel(m core.Model, v engine.Value, c float64) {
 	}
 }
 
+// fusedStep is the shared transition-function kernel of the linear tasks:
+// it computes wx = w·x, calls gain(wx) for the step coefficient (the task's
+// scalar work — sigmoid, margin test, residual, per-step shrinkage — runs
+// between the two phases), applies w += gain(wx)·x, and returns wx. The
+// DenseModel fast path runs the fused unrolled vector kernels; other models
+// go through the component-wise Model interface. The gain closure must not
+// escape — it is called exactly once, so Go keeps it on the stack and the
+// steady-state step is allocation-free.
+func fusedStep(m core.Model, v engine.Value, gain func(wx float64) float64) float64 {
+	if dm, ok := m.(*core.DenseModel); ok {
+		if v.Type == engine.TSparseVec {
+			return vector.DotAxpySparse(dm.W, v.Sparse, gain)
+		}
+		x := v.Dense
+		if len(x) > len(dm.W) {
+			x = x[:len(dm.W)] // ignore features beyond the model dim
+		}
+		return vector.DotAxpy(dm.W[:len(x)], x, gain)
+	}
+	wx := dotModel(m, v)
+	if c := gain(wx); c != 0 {
+		axpyModel(m, v, c)
+	}
+	return wx
+}
+
 // shrinkTouched applies per-step L2 shrinkage w_i ← w_i·(1−αµ) only on the
 // coordinates touched by the example — the standard sparse-SGD treatment of
 // the regularizer, which keeps the transition cost proportional to the

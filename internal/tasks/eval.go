@@ -29,7 +29,7 @@ type BinaryMetrics struct {
 // classifier's score space: 0.5 for LR probabilities, 0 for SVM margins.
 func EvaluateBinary(c BinaryClassifier, w vector.Dense, tbl *engine.Table, threshold float64) (BinaryMetrics, error) {
 	var m BinaryMetrics
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		score := c.Predict(w, tp[ColVec])
 		pred := score > threshold
 		actual := tp[ColLabel].Float > 0
@@ -70,7 +70,7 @@ func EvaluateBinary(c BinaryClassifier, w vector.Dense, tbl *engine.Table, thres
 func (t *LMF) RMSE(w vector.Dense, tbl *engine.Table) (float64, error) {
 	var se float64
 	n := 0
-	err := tbl.Scan(func(tp engine.Tuple) error {
+	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		d := t.Predict(w, int(tp[0].Int), int(tp[1].Int)) - tp[2].Float
 		se += d * d
 		n++
@@ -88,7 +88,7 @@ func (t *LMF) RMSE(w vector.Dense, tbl *engine.Table) (float64, error) {
 // TokenAccuracy evaluates a CRF model's Viterbi tagging accuracy over a
 // sequence table, returning (correct, total).
 func (t *CRF) TokenAccuracy(w vector.Dense, tbl *engine.Table) (correct, total int, err error) {
-	err = tbl.Scan(func(tp engine.Tuple) error {
+	err = tbl.Rows().Scan(func(tp engine.Tuple) error {
 		pred := t.Decode(w, tp)
 		gold := tp[3].Ints
 		for i := range gold {

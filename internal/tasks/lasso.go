@@ -28,11 +28,11 @@ func (t *Lasso) Name() string { return "LASSO" }
 // Dim implements core.Task.
 func (t *Lasso) Dim() int { return t.D }
 
-// Step implements core.Task: gradient step then soft-threshold.
+// Step implements core.Task: a fused gradient step on the smooth part, then
+// soft-thresholding of the touched coordinates.
 func (t *Lasso) Step(m core.Model, e engine.Tuple, alpha float64) {
 	x, y := e[ColVec], e[ColLabel].Float
-	r := dotModel(m, x) - y
-	axpyModel(m, x, -alpha*r)
+	fusedStep(m, x, func(wx float64) float64 { return -alpha * (wx - y) })
 	t.proxTouched(m, x, alpha*t.Mu)
 }
 

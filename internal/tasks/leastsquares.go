@@ -21,11 +21,10 @@ func (t *LeastSquares) Name() string { return "LSQ" }
 // Dim implements core.Task.
 func (t *LeastSquares) Dim() int { return t.D }
 
-// Step implements core.Task: w ← w − α(wᵀx − y)x.
+// Step implements core.Task: w ← w − α(wᵀx − y)x, fused.
 func (t *LeastSquares) Step(m core.Model, e engine.Tuple, alpha float64) {
 	x, y := e[ColVec], e[ColLabel].Float
-	r := dotModel(m, x) - y
-	axpyModel(m, x, -alpha*r)
+	fusedStep(m, x, func(wx float64) float64 { return -alpha * (wx - y) })
 }
 
 // Loss implements core.Task: ½(wᵀx − y)².

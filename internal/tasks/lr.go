@@ -28,14 +28,18 @@ func (t *LR) Name() string { return "LR" }
 // Dim implements core.Task.
 func (t *LR) Dim() int { return t.D }
 
-// Step implements core.Task: one incremental gradient step on example e.
+// Step implements core.Task: one incremental gradient step on example e,
+// via the fused dot-gain-axpy kernel (the margin is read before the
+// regularizer shrinks the touched coordinates, as in Figure 4).
 func (t *LR) Step(m core.Model, e engine.Tuple, alpha float64) {
 	x, y := e[ColVec], e[ColLabel].Float
-	wx := dotModel(m, x)
-	sig := sigmoid(-wx * y)
-	c := alpha * y * sig
-	shrinkTouched(m, x, alpha*t.Mu)
-	axpyModel(m, x, c)
+	mu := t.Mu
+	fusedStep(m, x, func(wx float64) float64 {
+		if mu > 0 {
+			shrinkTouched(m, x, alpha*mu)
+		}
+		return alpha * y * sigmoid(-wx*y)
+	})
 }
 
 // Loss implements core.Task: the logistic loss of one example.

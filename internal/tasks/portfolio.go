@@ -48,9 +48,9 @@ func (t *Portfolio) InitModel(int64) vector.Dense {
 // locked model (it snapshots otherwise).
 func (t *Portfolio) Step(m core.Model, e engine.Tuple, alpha float64) {
 	r := e[1]
-	wr := dotModel(m, r)
-	c := -alpha * (2*t.Lambda*wr - t.Gamma)
-	axpyModel(m, r, c)
+	fusedStep(m, r, func(wr float64) float64 {
+		return -alpha * (2*t.Lambda*wr - t.Gamma)
+	})
 	if dm, ok := m.(*core.DenseModel); ok {
 		core.ProjectSimplex(dm.W)
 		return

@@ -210,7 +210,7 @@ func init() {
 		Evaluate: func(t core.Task, w vector.Dense, view *engine.Table, _ float64, out io.Writer) error {
 			s := t.(*tasks.Softmax)
 			correct, n := 0, 0
-			err := view.Scan(func(tp engine.Tuple) error {
+			err := view.Rows().Scan(func(tp engine.Tuple) error {
 				n++
 				if s.Predict(w, tp[tasks.ColVec]) == int(tp[tasks.ColLabel].Float) {
 					correct++

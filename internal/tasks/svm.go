@@ -26,14 +26,21 @@ func (t *SVM) Name() string { return "SVM" }
 // Dim implements core.Task.
 func (t *SVM) Dim() int { return t.D }
 
-// Step implements core.Task.
+// Step implements core.Task, via the fused dot-gain-axpy kernel: an example
+// inside the margin returns a zero coefficient and costs only the dot
+// product (plus shrinkage when regularized).
 func (t *SVM) Step(m core.Model, e engine.Tuple, alpha float64) {
 	x, y := e[ColVec], e[ColLabel].Float
-	wx := dotModel(m, x)
-	shrinkTouched(m, x, alpha*t.Mu)
-	if 1-wx*y > 0 {
-		axpyModel(m, x, alpha*y)
-	}
+	mu := t.Mu
+	fusedStep(m, x, func(wx float64) float64 {
+		if mu > 0 {
+			shrinkTouched(m, x, alpha*mu)
+		}
+		if 1-wx*y > 0 {
+			return alpha * y
+		}
+		return 0
+	})
 }
 
 // Loss implements core.Task: the hinge loss of one example.

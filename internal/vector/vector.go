@@ -37,25 +37,70 @@ func (v Dense) Zero() {
 }
 
 // Dot returns the inner product of two dense vectors of equal dimension.
+// The loop is 4-way unrolled with independent accumulators so the FPU adds
+// pipeline instead of serializing on one running sum.
 func Dot(a, b Dense) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vector: Dot dimension mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
 
-// Axpy performs w += c*x for dense x (the paper's Scale_And_Add).
+// Axpy performs w += c*x for dense x (the paper's Scale_And_Add), 4-way
+// unrolled like Dot.
 func Axpy(w Dense, x Dense, c float64) {
 	if len(w) != len(x) {
 		panic(fmt.Sprintf("vector: Axpy dimension mismatch %d vs %d", len(w), len(x)))
 	}
-	for i, xi := range x {
-		w[i] += c * xi
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		w[i] += c * x[i]
+		w[i+1] += c * x[i+1]
+		w[i+2] += c * x[i+2]
+		w[i+3] += c * x[i+3]
 	}
+	for ; i < len(x); i++ {
+		w[i] += c * x[i]
+	}
+}
+
+// DotAxpy is the fused IGD step kernel: it computes s = w·x, calls gain(s)
+// for the step coefficient — the task's per-example scalar work (sigmoid,
+// margin test, residual, per-step shrinkage) runs between the two phases —
+// and then performs w += gain(s)·x, returning s. A zero coefficient skips
+// the update pass entirely (an SVM example inside the margin costs only the
+// dot product). Both loops are the unrolled kernels above; w and x must have
+// equal length (callers pre-slice). The gain closure is invoked exactly once
+// and must not retain w.
+func DotAxpy(w, x Dense, gain func(dot float64) float64) float64 {
+	s := Dot(w, x)
+	if c := gain(s); c != 0 {
+		Axpy(w, x, c)
+	}
+	return s
+}
+
+// DotAxpySparse is DotAxpy for a sparse example against a dense model:
+// s = w·x, then w += gain(s)·x over the stored coordinates only. Indices of
+// x beyond the dimension of w are ignored in both phases.
+func DotAxpySparse(w Dense, x Sparse, gain func(dot float64) float64) float64 {
+	s := DotSparse(w, x)
+	if c := gain(s); c != 0 {
+		AxpySparse(w, x, c)
+	}
+	return s
 }
 
 // Scale multiplies every component of w by c in place.
@@ -170,9 +215,21 @@ func (s Sparse) Clone() Sparse {
 }
 
 // DotSparse returns the inner product of a dense vector w and a sparse
-// vector x. Indices of x beyond the dimension of w contribute zero.
+// vector x. Indices of x beyond the dimension of w contribute zero. Because
+// Idx is sorted ascending, checking the last index once replaces the
+// per-element range test on the common all-in-range path.
 func DotSparse(w Dense, x Sparse) float64 {
+	n := len(x.Idx)
+	if n == 0 {
+		return 0
+	}
 	var s float64
+	if int(x.Idx[n-1]) < len(w) {
+		for k, i := range x.Idx {
+			s += w[i] * x.Val[k]
+		}
+		return s
+	}
 	d := len(w)
 	for k, i := range x.Idx {
 		if int(i) < d {
@@ -183,8 +240,18 @@ func DotSparse(w Dense, x Sparse) float64 {
 }
 
 // AxpySparse performs w += c*x for sparse x. Indices beyond the dimension of
-// w are ignored.
+// w are ignored; the sorted-index fast path mirrors DotSparse.
 func AxpySparse(w Dense, x Sparse, c float64) {
+	n := len(x.Idx)
+	if n == 0 {
+		return
+	}
+	if int(x.Idx[n-1]) < len(w) {
+		for k, i := range x.Idx {
+			w[i] += c * x.Val[k]
+		}
+		return
+	}
 	d := len(w)
 	for k, i := range x.Idx {
 		if int(i) < d {
