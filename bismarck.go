@@ -35,6 +35,7 @@ import (
 	"bismarck/internal/ordering"
 	"bismarck/internal/parallel"
 	"bismarck/internal/sampling"
+	"bismarck/internal/server"
 	"bismarck/internal/spec"
 	"bismarck/internal/sqlish"
 	"bismarck/internal/tasks"
@@ -289,6 +290,31 @@ func LookupTask(name string) (*TaskSpec, error) { return spec.Lookup(name) }
 
 // RegisteredTasks lists all registered task specs sorted by name.
 func RegisteredTasks() []*TaskSpec { return spec.Tasks() }
+
+// --- the multi-session server layer ---
+
+type (
+	// ServerManager shares one catalog across concurrent client sessions
+	// behind per-model RW locks, and schedules TRAIN ... ASYNC jobs.
+	ServerManager = server.Manager
+	// ServerOptions tunes a ServerManager (worker pool, session defaults).
+	ServerOptions = server.Options
+	// TCPServer serves a ServerManager over the bismarckd wire protocol.
+	TCPServer = server.TCPServer
+	// ServerClient is a wire-protocol client for a running bismarckd.
+	ServerClient = server.Client
+)
+
+// NewServerManager wraps a catalog for multi-session use.
+func NewServerManager(cat *Catalog, opts ServerOptions) *ServerManager {
+	return server.NewManager(cat, opts)
+}
+
+// NewTCPServer wraps a manager for serving connections.
+func NewTCPServer(m *ServerManager) *TCPServer { return server.NewTCPServer(m) }
+
+// DialServer connects to a bismarckd address.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
 // --- baselines ---
 

@@ -5,6 +5,12 @@
 //	bismarck -data ./db "SELECT vec, label FROM papers TO TRAIN svm WITH alpha=0.1 INTO myModel"
 //	bismarck -data ./db "SELECT * FROM papers TO PREDICT USING myModel"
 //	bismarck -data ./db            # interactive REPL; statements end with ';'
+//	bismarck -connect 127.0.0.1:7077   # client for a running bismarckd
+//
+// With -connect the catalog lives in the daemon: statements (including the
+// async-job grammar — TRAIN ... ASYNC, SHOW JOBS, WAIT JOB, CANCEL JOB)
+// are sent over the wire protocol and responses are printed as they
+// arrive.
 //
 // The legacy MADlib-style calls (SELECT SVMTrain('m','t','vec','label'))
 // keep working. SHOW TASKS lists every registered task and its WITH
@@ -13,12 +19,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"bismarck/internal/engine"
+	"bismarck/internal/server"
 	"bismarck/internal/spec"
 	"bismarck/internal/sqlish"
 )
@@ -26,10 +34,28 @@ import (
 func main() {
 	var (
 		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
+		connect = flag.String("connect", "", "bismarckd address; statements run remotely instead of on -data")
 		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
 		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		// The local-only flags would be silently meaningless remotely —
+		// session defaults live with the daemon (bismarckd -epochs/-alpha).
+		var misused []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "data" || f.Name == "epochs" || f.Name == "alpha" {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			fmt.Fprintf(os.Stderr, "bismarck: %s only apply locally; with -connect set them on the daemon (bismarckd flags)\n",
+				strings.Join(misused, ", "))
+			os.Exit(2)
+		}
+		os.Exit(runRemote(*connect, flag.Args()))
+	}
 
 	cat, err := engine.OpenFileCatalog(*dataDir, 0)
 	if err != nil {
@@ -64,13 +90,22 @@ func main() {
 	os.Exit(status)
 }
 
-// repl reads statements from stdin, accumulating lines until a statement
-// is terminated with ';' (a lone blank line also submits).
+// repl runs the local interactive loop against the in-process session.
 func repl(sess *sqlish.Session) {
 	fmt.Println(`bismarck> statements end with ';'. Try SHOW TASKS; or SHOW TABLES; (Ctrl-D quits)`)
+	statementLoop(func(text string) { execAll(sess, text) })
+}
+
+// statementLoop reads statements from stdin, accumulating lines until a
+// statement is terminated with ';' (a lone blank line also submits), and
+// hands each completed batch to exec. Both the local and the -connect
+// REPL run through it, so EOF flushing (don't drop a final statement
+// missing its ';') and scanner-error reporting behave identically.
+func statementLoop(exec func(text string)) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
+	var term spec.TermScanner
 	prompt := func() {
 		if buf.Len() == 0 {
 			fmt.Print("bismarck> ")
@@ -87,17 +122,25 @@ func repl(sess *sqlish.Session) {
 			// skip leading blank lines
 		case buf.Len() == 0 && (strings.EqualFold(trimmed, "help") || trimmed == "\\h"):
 			fmt.Println("statements:")
-			fmt.Println("  SELECT cols FROM t [WHERE ...] TO TRAIN task [WITH k=v,...] [COLUMN ...] [LABEL c] INTO model;")
+			fmt.Println("  SELECT cols FROM t [WHERE ...] TO TRAIN task [WITH k=v,...] [COLUMN ...] [LABEL c] INTO model [ASYNC];")
 			fmt.Println("  SELECT cols FROM t TO PREDICT [WITH threshold=x] [INTO out] USING model;")
 			fmt.Println("  SELECT cols FROM t TO EVALUATE USING model;")
-			fmt.Println("  SHOW TASKS;  SHOW TABLES;")
+			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;")
+			fmt.Println("  SHOW JOBS;  WAIT JOB n;  CANCEL JOB n;    (with -connect)")
 		default:
 			buf.WriteString(line)
 			buf.WriteByte('\n')
-			if strings.HasSuffix(trimmed, ";") || trimmed == "" {
+			term.Write(line)
+			term.Write("\n")
+			// Submit on a real terminator only — a ';' inside an open
+			// string literal or behind a -- comment is payload, and the
+			// incremental scanner knows the difference. A blank line still
+			// force-submits as an escape hatch.
+			if term.Terminated() || trimmed == "" {
 				text := buf.String()
 				buf.Reset()
-				execAll(sess, text)
+				term.Reset()
+				exec(text)
 			}
 		}
 		prompt()
@@ -106,9 +149,9 @@ func repl(sess *sqlish.Session) {
 		// A scanner error may have truncated the buffered statement —
 		// report it rather than executing a partial statement.
 		fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
-	} else {
+	} else if strings.TrimSpace(buf.String()) != "" {
 		// Don't silently drop a final statement missing its ';' at EOF.
-		execAll(sess, buf.String())
+		exec(buf.String())
 	}
 	fmt.Println()
 }
@@ -118,7 +161,58 @@ func repl(sess *sqlish.Session) {
 func execAll(sess *sqlish.Session, text string) {
 	for _, stmt := range spec.SplitStatements(text) {
 		if err := sess.Exec(stmt); err != nil {
+			// A typed unknown-model error is a user mistake, not an engine
+			// failure: render it without the package prefix.
+			var ume *sqlish.UnknownModelError
+			if errors.As(err, &ume) {
+				fmt.Fprintf(os.Stderr, "%s\n", strings.TrimPrefix(err.Error(), "sqlish: "))
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
+}
+
+// runRemote speaks the wire protocol to a bismarckd. With args each is
+// split into statements and run (first failure stops, like the local
+// one-shot mode); without args it is a remote REPL. Splitting client-side
+// matters for framing: the server answers once per statement, and
+// Client.Exec reads exactly one response, so the stream stays in sync
+// only when exactly one statement goes out per Exec.
+func runRemote(addr string, args []string) int {
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+
+	exec := func(stmt string) bool {
+		body, err := c.Exec(stmt)
+		fmt.Print(body)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	if len(args) > 0 {
+		for _, arg := range args {
+			for _, stmt := range spec.SplitStatements(arg) {
+				if !exec(stmt) {
+					return 1
+				}
+			}
+		}
+		return 0
+	}
+
+	fmt.Printf("bismarck> connected to %s; statements end with ';' (Ctrl-D quits)\n", addr)
+	statementLoop(func(text string) {
+		for _, stmt := range spec.SplitStatements(text) {
+			exec(stmt)
+		}
+	})
+	return 0
 }

@@ -1,0 +1,97 @@
+// Command bismarckd is the multi-session Bismarck daemon: it serves the
+// declarative statement grammar over a line-oriented TCP protocol, sharing
+// one file catalog across every connection behind the server package's
+// per-model locking, and runs `TO TRAIN ... ASYNC` statements on a
+// background worker pool (SHOW JOBS / WAIT JOB <id> / CANCEL JOB <id>).
+//
+//	bismarckd -data ./db -listen 127.0.0.1:7077 -workers 4
+//
+// Connect with `bismarck -connect 127.0.0.1:7077` or any line tool:
+//
+//	$ nc 127.0.0.1 7077
+//	| bismarckd ready — statements end with ';'
+//	OK
+//	SELECT vec, label FROM papers TO TRAIN svm INTO m ASYNC;
+//	| job 1 queued: TRAIN svm INTO "m" (SHOW JOBS / WAIT JOB 1)
+//	OK
+//
+// On SIGINT/SIGTERM the daemon stops accepting, cancels still-queued
+// jobs, lets running jobs finish and commit, and saves the catalog before
+// exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/server"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
+		listen  = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		workers = flag.Int("workers", 0, "async TRAIN worker pool size (0 = NumCPU, max 8)")
+		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
+		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
+	)
+	flag.Parse()
+	if err := run(*dataDir, *listen, *workers, *epochs, *alpha); err != nil {
+		fmt.Fprintf(os.Stderr, "bismarckd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataDir, listen string, workers, epochs int, alpha float64) error {
+	cat, err := engine.OpenFileCatalog(dataDir, 0)
+	if err != nil {
+		return err
+	}
+	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha})
+	srv := server.NewTCPServer(mgr)
+
+	lis, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bismarckd: serving catalog %q on %s\n", dataDir, lis.Addr())
+
+	// Shutdown order matters: stop the wire first (no new statements), let
+	// accepted jobs finish (their saves still take the model locks), then
+	// persist and close the catalog.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("bismarckd: %v — draining jobs and saving catalog\n", s)
+		srv.Close()
+	}()
+
+	serveErr := srv.Serve(lis)
+	// Serve returns as soon as the listener dies — on shutdown or on a
+	// fatal accept error. Either way the teardown is the same: Close
+	// (idempotent) waits for in-flight connection handlers, Drain waits
+	// for async jobs, and only then is the catalog saved and closed, so
+	// nothing is still mutating heap files and every model a client was
+	// told about reaches catalog.json.
+	srv.Close()
+	mgr.Drain()
+	saveErr := cat.Save()
+	closeErr := cat.Close()
+	if serveErr != nil {
+		return serveErr
+	}
+	if saveErr != nil {
+		return fmt.Errorf("saving catalog: %w", saveErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("closing catalog: %w", closeErr)
+	}
+	fmt.Println("bismarckd: bye")
+	return nil
+}

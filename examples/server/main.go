@@ -1,0 +1,120 @@
+// Server: the multi-session deployment shape of the paper — analytics
+// living inside the data-management system, queried by many concurrent
+// clients. This example starts an in-process bismarckd-style server over
+// an in-memory catalog, then drives it with three concurrent wire-protocol
+// clients: one keeps retraining a shared model asynchronously (watching it
+// through SHOW JOBS / WAIT JOB) while the other two score against whatever
+// model generation is currently committed. Per-model reader/writer locking
+// means the scoring clients always see a complete snapshot — never a
+// half-saved model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+
+	"bismarck"
+)
+
+func main() {
+	// 1. A shared catalog with a labeled training table.
+	cat := bismarck.NewCatalog()
+	tbl, err := cat.Create("events", bismarck.DenseExampleSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n, d = 1500, 8
+	truth := make(bismarck.Dense, d)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		x := make(bismarck.Dense, d)
+		var dot float64
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * truth[j]
+		}
+		label := -1.0
+		if dot > 0 {
+			label = 1.0
+		}
+		tbl.MustInsert(bismarck.Tuple{
+			bismarck.I64(int64(i)), bismarck.DenseV(x), bismarck.F64(label)})
+	}
+
+	// 2. Serve it. Manager = shared locks + job scheduler; TCPServer = wire.
+	mgr := bismarck.NewServerManager(cat, bismarck.ServerOptions{Workers: 2})
+	srv := bismarck.NewTCPServer(mgr)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(lis)
+	addr := lis.Addr().String()
+	fmt.Printf("serving on %s\n\n", addr)
+
+	exec := func(who string, c *bismarck.ServerClient, stmt string) string {
+		body, err := c.Exec(stmt)
+		if err != nil {
+			log.Fatalf("%s: %s: %v", who, stmt, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			fmt.Printf("[%s] %s\n", who, line)
+		}
+		return body
+	}
+
+	// 3. Bootstrap generation 1 of the model so scorers always have one.
+	boot, err := bismarck.DialServer(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec("boot", boot, "SELECT vec, label FROM events TO TRAIN svm WITH epochs=3, seed=1 INTO spamModel")
+	boot.Close()
+
+	// 4. One trainer keeps shipping new generations asynchronously while
+	// two scorers hammer the committed one.
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		c, err := bismarck.DialServer(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		for gen := 2; gen <= 4; gen++ {
+			body := exec("trainer", c, fmt.Sprintf(
+				"SELECT vec, label FROM events TO TRAIN svm WITH epochs=6, seed=%d INTO spamModel ASYNC", gen))
+			var id int
+			fmt.Sscanf(body, "job %d", &id)
+			exec("trainer", c, "SHOW JOBS")
+			exec("trainer", c, fmt.Sprintf("WAIT JOB %d", id))
+		}
+	}()
+	for s := 1; s <= 2; s++ {
+		go func(s int) {
+			defer wg.Done()
+			c, err := bismarck.DialServer(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			for i := 0; i < 4; i++ {
+				exec(fmt.Sprintf("scorer%d", s), c,
+					"SELECT * FROM events TO PREDICT USING spamModel")
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	srv.Close()
+	mgr.Drain()
+	fmt.Println("\ndone: every PREDICT scored a complete model generation")
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -372,5 +373,44 @@ func TestNullUDAIsNoOp(t *testing.T) {
 	}
 	if got != nil {
 		t.Fatalf("NULL aggregate returned %v", got)
+	}
+}
+
+// TestValidTableName pins the catalog's name validation: path tricks and
+// control bytes must be rejected before any heap file path is formed.
+func TestValidTableName(t *testing.T) {
+	for _, bad := range []string{"", "../x", "a/b", `a\b`, "m\x00", "m\nx", "m\tx", "\x7f"} {
+		if err := ValidTableName(bad); err == nil {
+			t.Errorf("ValidTableName(%q) accepted", bad)
+		}
+	}
+	for _, ok := range []string{"m", "my model", "m;x", "it's", "forest_svm", "m__meta", "a..b", ".."} {
+		if err := ValidTableName(ok); err != nil {
+			t.Errorf("ValidTableName(%q): %v", ok, err)
+		}
+	}
+}
+
+// TestFileCatalogRejectsCaseCollision: on a file catalog, "m" and "M"
+// would share one heap file on a case-insensitive filesystem.
+func TestFileCatalogRejectsCaseCollision(t *testing.T) {
+	schema := Schema{{Name: "x", Type: TInt64}}
+	fc := NewFileCatalog(t.TempDir(), 0)
+	defer fc.Close()
+	if _, err := fc.Create("m", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Create("M", schema); err == nil ||
+		!strings.Contains(err.Error(), "case-insensitively") {
+		t.Fatalf("file catalog case collision: %v", err)
+	}
+	// In-memory catalogs have no files and keep case-sensitive semantics.
+	mc := NewCatalog()
+	defer mc.Close()
+	if _, err := mc.Create("m", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Create("M", schema); err != nil {
+		t.Fatalf("mem catalog should allow distinct case: %v", err)
 	}
 }

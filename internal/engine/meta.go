@@ -25,30 +25,75 @@ type columnMeta struct {
 
 const catalogFile = "catalog.json"
 
+// FileBacked reports whether the catalog persists tables to disk.
+func (c *Catalog) FileBacked() bool { return c.dir != "" }
+
 // Save writes the catalog's table metadata to dir/catalog.json and flushes
 // every table. Only meaningful for file catalogs.
 func (c *Catalog) Save() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.dir == "" {
 		return fmt.Errorf("engine: Save requires a file catalog")
 	}
-	var meta catalogMeta
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	c.mu.Lock()
 	for _, t := range c.tables {
 		if err := t.Flush(); err != nil {
+			c.mu.Unlock()
 			return err
 		}
+	}
+	meta := c.snapshotMetaLocked()
+	c.mu.Unlock()
+	return c.writeMeta(meta)
+}
+
+// SaveMeta writes dir/catalog.json without flushing any table. The
+// long-running daemon calls it after each committed statement so a crash
+// loses no acknowledged model: the statement paths flush the tables they
+// fill themselves, and flushing *other* tables here would race their
+// writers. Catalog metadata (names and schemas) is immutable per table,
+// so the snapshot needs only a brief hold of the catalog mutex; the disk
+// write happens outside it so concurrent sessions' Get/Create/Drop never
+// stall behind a checkpoint.
+func (c *Catalog) SaveMeta() error {
+	if c.dir == "" {
+		return fmt.Errorf("engine: SaveMeta requires a file catalog")
+	}
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	c.mu.Lock()
+	meta := c.snapshotMetaLocked()
+	c.mu.Unlock()
+	return c.writeMeta(meta)
+}
+
+func (c *Catalog) snapshotMetaLocked() catalogMeta {
+	var meta catalogMeta
+	for _, t := range c.tables {
 		tm := tableMeta{Name: t.Name}
 		for _, col := range t.Schema {
 			tm.Columns = append(tm.Columns, columnMeta{Name: col.Name, Type: uint8(col.Type)})
 		}
 		meta.Tables = append(meta.Tables, tm)
 	}
+	return meta
+}
+
+// writeMeta persists the snapshot atomically (temp file + rename): a
+// crash mid-write must leave the previous catalog.json intact, not a
+// truncated JSON that bricks the next OpenFileCatalog. Callers hold
+// saveMu, so concurrent checkpoints cannot interleave on the temp file.
+func (c *Catalog) writeMeta(meta catalogMeta) error {
 	b, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(c.dir, catalogFile), b, 0o644)
+	tmp := filepath.Join(c.dir, catalogFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, catalogFile))
 }
 
 // OpenFileCatalog loads a catalog previously written with Save, reopening
@@ -71,7 +116,7 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 		for _, cm := range tm.Columns {
 			schema = append(schema, Column{Name: cm.Name, Type: Type(cm.Type)})
 		}
-		if _, err := c.Create(tm.Name, schema); err != nil {
+		if _, err := c.createTrusted(tm.Name, schema); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"bismarck/internal/vector"
@@ -64,5 +66,72 @@ func TestOpenFileCatalogEmptyDir(t *testing.T) {
 func TestSaveRequiresFileCatalog(t *testing.T) {
 	if err := NewCatalog().Save(); err == nil {
 		t.Fatal("Save on mem catalog should fail")
+	}
+}
+
+// TestOpenFileCatalogTrustsLegacyNames: names already recorded in a local
+// catalog.json (possibly written under laxer rules) must not fail the
+// whole catalog open — only new creations are validated.
+func TestOpenFileCatalogTrustsLegacyNames(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewFileCatalog(dir, 0)
+	// Simulate a legacy name that today's Create would reject.
+	if _, err := cat.createTrusted("we\tird", Schema{{Name: "x", Type: TInt64}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("fine", Schema{{Name: "x", Type: TInt64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatalf("legacy catalog failed to open: %v", err)
+	}
+	defer re.Close()
+	for _, name := range []string{"we\tird", "fine"} {
+		if _, err := re.Get(name); err != nil {
+			t.Errorf("table %q lost: %v", name, err)
+		}
+	}
+	// New creations still validate.
+	if _, err := re.Create("al\tso", Schema{{Name: "x", Type: TInt64}}); err == nil {
+		t.Error("Create accepted a control-character name")
+	}
+}
+
+// TestSaveMetaAtomicAndCrashSafe: the checkpoint goes through temp+rename
+// so a torn write can never leave a truncated catalog.json, and a stale
+// temp file from a crashed writer is ignored on reopen.
+func TestSaveMetaAtomicAndCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewFileCatalog(dir, 0)
+	defer cat.Close()
+	if _, err := cat.Create("m", Schema{{Name: "x", Type: TInt64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.SaveMeta(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "catalog.json.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Simulate a crash mid-write of a later checkpoint: a corrupt temp
+	// file must not affect reopening from the committed catalog.json.
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json.tmp"), []byte("{tor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get("m"); err != nil {
+		t.Fatal(err)
 	}
 }

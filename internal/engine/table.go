@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -348,7 +349,8 @@ func (t *Table) Close() error { return t.heap.Close() }
 // Catalog is a registry of tables, optionally file-backed under a directory.
 type Catalog struct {
 	mu        sync.Mutex
-	dir       string // empty = in-memory tables
+	saveMu    sync.Mutex // serializes Save/SaveMeta disk writes, outside mu
+	dir       string     // empty = in-memory tables
 	poolPages int
 	tables    map[string]*Table
 }
@@ -363,12 +365,70 @@ func NewFileCatalog(dir string, poolPages int) *Catalog {
 	return &Catalog{dir: dir, poolPages: poolPages, tables: make(map[string]*Table)}
 }
 
-// Create makes a new table, failing if the name exists.
+// ValidTableName rejects names that could escape the catalog directory
+// when used as heap file names (file catalogs store each table at
+// dir/<name>.heap, and names arrive from untrusted statements once a
+// catalog is served over TCP). Create enforces it; the statement layer
+// also checks destinations up front so a long training run cannot fail
+// only at save time.
+func ValidTableName(name string) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty table name")
+	}
+	// Path separators are the only way a name can traverse out of dir:
+	// "<name>.heap" with ".." in it is just an odd filename, never a
+	// parent reference.
+	if strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("engine: invalid table name %q (path separators are not allowed)", name)
+	}
+	// Filesystem NAME_MAX is typically 255; capping well below leaves room
+	// for the ".heap" extension and derived side-table suffixes.
+	if len(name) > 128 {
+		return fmt.Errorf("engine: invalid table name %q... (longer than 128 bytes)", name[:32])
+	}
+	// Control bytes (a quoted statement name can carry NUL, newline, ...)
+	// make invalid or junk heap filenames — on a file catalog they would
+	// surface only at save time, after the training run.
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f {
+			return fmt.Errorf("engine: invalid table name %q (control characters are not allowed)", name)
+		}
+	}
+	return nil
+}
+
+// Create makes a new table, failing if the name exists. On file catalogs
+// it also rejects names that collide case-insensitively with an existing
+// table: the map keys are case-sensitive but on a case-insensitive
+// filesystem (macOS, Windows) "m.heap" and "M.heap" are one file, and two
+// tables silently appending into one heap corrupt both.
 func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
+	if err := ValidTableName(name); err != nil {
+		return nil, err
+	}
+	return c.create(name, schema, false)
+}
+
+// createTrusted is Create without the name checks. OpenFileCatalog uses
+// it for names already recorded in the local catalog.json — possibly
+// written by an older release with laxer rules — because refusing one
+// legacy name would strand every other table in the catalog.
+func (c *Catalog) createTrusted(name string, schema Schema) (*Table, error) {
+	return c.create(name, schema, true)
+}
+
+func (c *Catalog) create(name string, schema Schema, trusted bool) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; ok {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	if !trusted && c.dir != "" {
+		for existing := range c.tables {
+			if strings.EqualFold(existing, name) {
+				return nil, fmt.Errorf("engine: table name %q collides case-insensitively with existing %q", name, existing)
+			}
+		}
 	}
 	var t *Table
 	var err error
@@ -382,6 +442,25 @@ func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
 	}
 	c.tables[name] = t
 	return t, nil
+}
+
+// FindCaseConflict returns an existing table name equal to name under
+// case folding but not byte-equal — a pair whose heap files would collide
+// on a case-insensitive filesystem. Only meaningful for file catalogs
+// (returns ""); the statement layer uses it to fail a TRAIN before the
+// epochs run rather than at save time.
+func (c *Catalog) FindCaseConflict(name string) string {
+	if c.dir == "" {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for existing := range c.tables {
+		if existing != name && strings.EqualFold(existing, name) {
+			return existing
+		}
+	}
+	return ""
 }
 
 // Get looks a table up by name.

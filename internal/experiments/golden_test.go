@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files under testdata/ from the current
+// output:
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// The goldens pin the exact text the experiment drivers render — the
+// table/figure formatting layer and the one fully deterministic driver
+// (Table 1 has no timings; everything it prints derives from seeded
+// generators). Timing-bearing drivers are covered by TestAllExperimentsRun
+// instead, since their cell values cannot be byte-stable.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s (intentional? rerun with -update):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenTablePrint pins the aligned-column table renderer every table
+// experiment prints through: header/separator alignment, ragged rows,
+// trailing-space trimming, notes.
+func TestGoldenTablePrint(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo table",
+		Header: []string{"Dataset", "Bismarck", "Baseline", "Speedup"},
+		Notes:  []string{"speedup is wall-clock baseline/bismarck", "second note"},
+	}
+	tbl.Add("Forest", "1.23s", "4.56s", "3.7x")
+	tbl.Add("DBLife-with-a-long-name", "0.9s", "-", "-")
+	tbl.Add("MovieLens", "12.0s", "13.5s", "1.1x", "ragged extra cell")
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	checkGolden(t, "table_print.golden", buf.Bytes())
+}
+
+// TestGoldenPrintSeries pins the curve renderer (union of x values,
+// missing points as "-", %.4g trimming).
+func TestGoldenPrintSeries(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSeries(&buf, "Demo curves", "epoch",
+		Series{Name: "shuffle_once", X: []float64{1, 2, 3}, Y: []float64{10.5, 5.25, 2.125}},
+		Series{Name: "clustered", X: []float64{1, 3, 4}, Y: []float64{11, 6.0001, 3.14159}},
+		Series{Name: "sparse", X: []float64{2.5}, Y: []float64{100000}},
+	)
+	checkGolden(t, "print_series.golden", buf.Bytes())
+}
+
+// TestGoldenTable1 pins the one timing-free experiment driver end to end:
+// dataset statistics derive only from seeded generators, so any byte of
+// drift means the generators or the driver changed behavior.
+func TestGoldenTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates ~100k rows")
+	}
+	var buf bytes.Buffer
+	if err := RunTable1(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", buf.Bytes())
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"bismarck/internal/spec"
+)
+
+// Client speaks the bismarckd wire protocol: one statement out, one
+// framed response back. It is what `bismarck -connect` and the e2e tests
+// drive; any line-oriented tool (nc) works just as well.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// Dial connects and consumes the server banner.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, sc: bufio.NewScanner(conn)}
+	c.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if _, err := c.ReadResponse(nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: bad banner: %w", err)
+	}
+	return c, nil
+}
+
+// Exec sends one statement (';' appended when missing) and returns the
+// response body. A server-side statement failure comes back as an error.
+// Exactly one statement per call: the server answers once per statement
+// and Exec reads one response, so passing several would desync every
+// later call on this client — multi-statement input is rejected instead
+// (split it with spec.SplitStatements and Exec each piece).
+func (c *Client) Exec(stmt string) (string, error) {
+	s := strings.TrimSpace(stmt)
+	if spec.Incomplete(s) {
+		// The server would wait for the string literal to close and never
+		// respond; fail fast instead of hanging the connection.
+		return "", fmt.Errorf("server: statement has an %v", spec.ErrUnterminatedString)
+	}
+	if !spec.Terminated(s) {
+		// Terminate on a fresh line: appending to the current line could
+		// land the ';' inside a trailing -- comment.
+		s += "\n;"
+	}
+	switch pieces := spec.SplitStatements(s); len(pieces) {
+	case 1:
+	case 0:
+		// Comment-only/blank input would make the server execute zero
+		// statements and send zero responses — blocking the read below
+		// forever.
+		return "", fmt.Errorf("server: Exec got no statement (blank or comment-only input)")
+	default:
+		return "", fmt.Errorf("server: Exec takes one statement, got %d — send each separately", len(pieces))
+	}
+	if err := c.Send(s); err != nil {
+		return "", err
+	}
+	var body strings.Builder
+	if _, err := c.ReadResponse(&body); err != nil {
+		return body.String(), err
+	}
+	return body.String(), nil
+}
+
+// Send writes raw statement text (the caller owns ';' placement — the
+// server only executes once a line ends with one).
+func (c *Client) Send(text string) error {
+	_, err := fmt.Fprintln(c.conn, text)
+	return err
+}
+
+// ReadResponse consumes one framed response, appending unprefixed body
+// lines to body (when non-nil). It returns the number of body lines; an
+// ERR terminator surfaces as an error carrying the server message.
+func (c *Client) ReadResponse(body *strings.Builder) (int, error) {
+	n := 0
+	for c.sc.Scan() {
+		line := c.sc.Text()
+		switch {
+		case line == TermOK:
+			return n, nil
+		case strings.HasPrefix(line, TermErr+" "):
+			return n, fmt.Errorf("%s", strings.TrimPrefix(line, TermErr+" "))
+		case strings.HasPrefix(line, BodyPrefix):
+			if body != nil {
+				body.WriteString(strings.TrimPrefix(line, BodyPrefix))
+				body.WriteByte('\n')
+			}
+			n++
+		default:
+			return n, fmt.Errorf("server: malformed response line %q", line)
+		}
+	}
+	if err := c.sc.Err(); err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("server: connection closed mid-response")
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"bismarck/internal/spec"
+)
+
+// The wire protocol is line-oriented and human-usable over nc:
+//
+//	C: SELECT vec, label FROM papers TO TRAIN svm INTO m ASYNC;
+//	S: | job 1 queued: TRAIN svm INTO "m" (SHOW JOBS / WAIT JOB 1)
+//	S: OK
+//	C: WAIT JOB 99;
+//	S: ERR server: no job 99 (SHOW JOBS lists submitted jobs)
+//
+// Clients send statements terminated by ';' (multi-line statements are
+// fine: the server executes once a line ends with ';', splitting the
+// buffer on statement boundaries with the lexer). For every statement the
+// server streams zero or more body lines, each prefixed "| ", then exactly
+// one terminator line: "OK" or "ERR <one-line message>". The prefix makes
+// the framing unambiguous no matter what a statement prints. On connect
+// the server sends a banner body line and an OK before reading anything.
+
+// maxStatementBytes caps one connection's accumulated statement buffer.
+const maxStatementBytes = 1 << 20
+
+// Protocol framing tokens.
+const (
+	// BodyPrefix starts every response body line.
+	BodyPrefix = "| "
+	// TermOK terminates a successful statement response.
+	TermOK = "OK"
+	// TermErr (plus a space and the message) terminates a failed one.
+	TermErr = "ERR"
+)
+
+// TCPServer serves a Manager over a listener, one session per connection.
+type TCPServer struct {
+	m *Manager
+
+	mu      sync.Mutex
+	lis     net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	closing chan struct{} // closed in Close; unblocks WAIT JOB handlers
+	wg      sync.WaitGroup
+}
+
+// NewTCPServer wraps the manager for serving.
+func NewTCPServer(m *Manager) *TCPServer {
+	return &TCPServer{m: m, conns: make(map[net.Conn]struct{}),
+		closing: make(chan struct{})}
+}
+
+// Serve accepts connections until Close (returning nil then) or a fatal
+// listener error.
+func (s *TCPServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain. It does not drain the job scheduler — that is the
+// manager's (i.e. the daemon shutdown path's) decision.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.closing) // wake handlers parked in WAIT JOB before waiting on them
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle speaks the protocol on one connection.
+func (s *TCPServer) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	w := bufio.NewWriter(conn)
+	var body bytes.Buffer
+	sess := s.m.NewSession(&body)
+	sess.Shutdown = s.closing
+
+	respond := func(err error) bool {
+		// Body first (prefixed), then the terminator, then flush: the
+		// client reads to the terminator and never guesses at boundaries.
+		if body.Len() > 0 {
+			for _, line := range strings.Split(strings.TrimRight(body.String(), "\n"), "\n") {
+				if _, werr := fmt.Fprintf(w, "%s%s\n", BodyPrefix, line); werr != nil {
+					return false
+				}
+			}
+		}
+		body.Reset()
+		if err != nil {
+			if _, werr := fmt.Fprintf(w, "%s %s\n", TermErr, oneLine(err.Error())); werr != nil {
+				return false
+			}
+		} else if _, werr := fmt.Fprintln(w, TermOK); werr != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+
+	fmt.Fprintf(&body, "bismarckd ready — statements end with ';'\n")
+	if !respond(nil) {
+		return
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	var term spec.TermScanner
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		term.Write(line)
+		term.Write("\n")
+		// Network-facing bound: a client refusing to terminate must not
+		// grow the buffer without limit.
+		if buf.Len() > maxStatementBytes {
+			respond(fmt.Errorf("server: statement exceeds %d bytes", maxStatementBytes))
+			return
+		}
+		// Execute only on a ';' that really terminates a statement — one
+		// inside an open string literal or behind a -- comment is payload
+		// and keeps accumulating. The incremental scanner decides in
+		// O(line), so the response count always matches the client's own
+		// statement count and the framing stays in sync.
+		if !term.Terminated() {
+			continue
+		}
+		text := buf.String()
+		buf.Reset()
+		term.Reset()
+		for _, stmt := range spec.SplitStatements(text) {
+			if !respond(sess.Exec(stmt)) {
+				return
+			}
+		}
+	}
+	// A scanner error (oversized line, broken read) may have truncated the
+	// buffered statement — report it rather than executing a partial
+	// statement, which could parse into something the client never sent.
+	if err := sc.Err(); err != nil {
+		respond(fmt.Errorf("server: reading statement: %v", err))
+		return
+	}
+	// Leftover buffer at EOF: run the ';'-terminated statements (they were
+	// deliberately sent in full) but refuse the unterminated tail — unlike
+	// Ctrl-D at the local REPL, a socket EOF is not a submit gesture, and
+	// the tail may be the truncation artifact of a client that died
+	// mid-send (executing "CANCEL JOB 1" cut from "CANCEL JOB 12;" would
+	// act on the wrong target). When the leftover does not lex,
+	// SplitStatements falls back to one unterminated piece and everything
+	// is refused — with the buffer unsplittable there is no safe way to
+	// salvage complete statements out of it.
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		for _, stmt := range spec.SplitStatements(rest) {
+			if !spec.Terminated(stmt) {
+				respond(fmt.Errorf("server: dropping unterminated statement at connection end (missing ';')"))
+				return
+			}
+			if !respond(sess.Exec(stmt)) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package server turns the single-session declarative layer into a
+// concurrent multi-session service: one Manager shares one engine catalog
+// across N client sessions behind per-model reader/writer locks, schedules
+// `TO TRAIN ... ASYNC` statements as background jobs (SHOW JOBS / WAIT JOB
+// / CANCEL JOB), and serves a line-oriented TCP protocol for the bismarckd
+// daemon.
+//
+// Locking protocol (documented in DESIGN.md): lock order is manager →
+// model → catalog. The manager level is NameLocks' registry mutex (held
+// only to resolve a name to its RWMutex), the model level is the per-name
+// RWMutex (write-held across a model's replace-and-fill window, read-held
+// across metadata+coefficient loads), and the catalog level is
+// engine.Catalog's own mutex (held only inside single create/get/drop
+// calls). A session never holds two model-level locks at once, which makes
+// the protocol deadlock-free by construction: PREDICT and EVALUATE on a
+// model being retrained simply serve the previous persisted snapshot until
+// the TRAIN's save commits.
+package server
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/spec"
+	"bismarck/internal/sqlish"
+)
+
+// Options tunes a Manager.
+type Options struct {
+	// Workers is the async-TRAIN worker pool size (0 = NumCPU, capped at 8).
+	Workers int
+	// QueueDepth bounds pending jobs (0 = 256).
+	QueueDepth int
+	// JobHistory bounds retained terminal jobs: the oldest finished jobs
+	// are evicted past it, so a long-running daemon's job ledger (and its
+	// captured training output) stays bounded (0 = 1024). An evicted job
+	// id is no longer WAITable — clients learn "no job N".
+	JobHistory int
+	// Epochs / Alpha are the session-level defaults handed to every client
+	// session (same meaning as the bismarck CLI flags).
+	Epochs int
+	Alpha  float64
+}
+
+// Hooks instruments the manager for deterministic concurrency tests.
+type Hooks struct {
+	// BeforeSave runs in the job worker after training succeeds, right
+	// before the model's write lock is taken for persisting. Tests use it
+	// to hold a job at the save boundary while probing reads.
+	BeforeSave func(jobID int64, model string)
+}
+
+// Manager shares one catalog across many client sessions: it owns the
+// per-name lock registry every session locks through and the background
+// job scheduler behind the ASYNC grammar.
+type Manager struct {
+	cat   *engine.Catalog
+	locks *NameLocks
+	sched *scheduler
+	opts  Options
+
+	// Hooks must be set before the first session runs a statement.
+	Hooks Hooks
+}
+
+// NewManager wraps a catalog for multi-session use.
+func NewManager(cat *engine.Catalog, opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+		if opts.Workers > 8 {
+			opts.Workers = 8
+		}
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.JobHistory <= 0 {
+		opts.JobHistory = 1024
+	}
+	m := &Manager{cat: cat, locks: NewNameLocks(), opts: opts}
+	m.sched = newScheduler(m, opts.Workers, opts.QueueDepth, opts.JobHistory)
+	return m
+}
+
+// Catalog exposes the shared catalog (the daemon saves it at shutdown).
+func (m *Manager) Catalog() *engine.Catalog { return m.cat }
+
+// newSQLSession builds a sqlish session wired into the shared catalog and
+// lock registry; every client session and every job worker gets its own.
+func (m *Manager) newSQLSession(out io.Writer) *sqlish.Session {
+	return &sqlish.Session{Cat: m.cat, Out: out, Guard: m.locks,
+		Epochs: m.opts.Epochs, Alpha: m.opts.Alpha}
+}
+
+// Drain stops job intake and blocks until every accepted job is terminal.
+// Call before saving/closing the catalog at shutdown.
+func (m *Manager) Drain() { m.sched.drain() }
+
+// persistMeta checkpoints catalog.json after a committed mutation: the
+// statement itself flushed the heaps it filled, but a table missing from
+// catalog.json would not be reopened on restart. This makes an
+// acknowledged model survive an ungraceful daemon death in the common
+// case; the save window itself is not crash-atomic — a kill landing
+// inside a retrain's replace-and-fill can still lose the generation being
+// replaced (DESIGN.md §6 notes shadow-table swaps as the follow-up that
+// would close this). No-op on in-memory catalogs.
+func (m *Manager) persistMeta() error {
+	if !m.cat.FileBacked() {
+		return nil
+	}
+	if err := m.cat.SaveMeta(); err != nil {
+		return fmt.Errorf("server: statement committed but catalog checkpoint failed: %w", err)
+	}
+	return nil
+}
+
+// NewSession opens a client session writing its results to out.
+// Each session serves one client serially; sessions are safe against each
+// other through the shared lock registry.
+func (m *Manager) NewSession(out io.Writer) *Session {
+	return &Session{m: m, out: out, sq: m.newSQLSession(out)}
+}
+
+// Session is one client's view of the manager: a sqlish session for the
+// data statements plus the job statements only a server can run.
+type Session struct {
+	m   *Manager
+	out io.Writer
+	sq  *sqlish.Session
+
+	// Shutdown, when non-nil, aborts blocking statements (WAIT JOB) once
+	// closed — the TCP server installs its closing channel so a draining
+	// daemon is never deadlocked behind a handler parked on a queued job.
+	Shutdown <-chan struct{}
+}
+
+// Exec parses and runs one statement.
+func (s *Session) Exec(text string) error {
+	st, err := spec.Parse(text)
+	if err != nil {
+		return err
+	}
+	return s.Run(st, text)
+}
+
+// Run executes a parsed statement; text is the source rendering kept for
+// job listings (pass "" to rebuild nothing fancier than the kind).
+func (s *Session) Run(st *spec.Statement, text string) error {
+	switch {
+	case st.Kind == spec.KindTrain && st.Async:
+		job, err := s.m.sched.submit(st, oneLine(text))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "job %d queued: TRAIN %s INTO %q (SHOW JOBS / WAIT JOB %d)\n",
+			job.ID, st.Task, st.Into, job.ID)
+		return nil
+	case st.Kind == spec.KindShowJobs:
+		for _, v := range s.m.sched.list() {
+			line := fmt.Sprintf("job %-3d %-9s model=%-12s %7s  %s",
+				v.ID, v.State, v.Model, roundMS(v.Elapsed), v.Statement)
+			if v.Err != "" {
+				line += "  [" + oneLine(v.Err) + "]"
+			}
+			fmt.Fprintln(s.out, strings.TrimRight(line, " "))
+		}
+		return nil
+	case st.Kind == spec.KindWaitJob:
+		job, err := s.m.sched.get(st.JobID)
+		if err != nil {
+			return err
+		}
+		if s.Shutdown != nil {
+			select {
+			case <-job.Done():
+			case <-s.Shutdown:
+				return fmt.Errorf("server: shutting down; job %d keeps its state (reconnect to inspect)", st.JobID)
+			}
+		} else {
+			<-job.Done()
+		}
+		v := job.View()
+		if out := strings.TrimSpace(v.Output); out != "" {
+			fmt.Fprintln(s.out, out)
+		}
+		if v.State != JobDone {
+			if v.Err != "" {
+				return fmt.Errorf("server: job %d %s: %s", v.ID, v.State, v.Err)
+			}
+			return fmt.Errorf("server: job %d %s", v.ID, v.State)
+		}
+		fmt.Fprintf(s.out, "job %d done in %s\n", v.ID, roundMS(v.Elapsed))
+		return nil
+	case st.Kind == spec.KindCancelJob:
+		job, err := s.m.sched.get(st.JobID)
+		if err != nil {
+			return err
+		}
+		switch state := job.requestCancel(); {
+		case state.Terminal():
+			fmt.Fprintf(s.out, "job %d already %s\n", job.ID, state)
+		case state == JobRunning:
+			fmt.Fprintf(s.out, "job %d cancel requested; a running job stops at its save boundary (WAIT JOB %d to confirm)\n",
+				job.ID, job.ID)
+		default:
+			fmt.Fprintf(s.out, "job %d canceled\n", job.ID)
+		}
+		return nil
+	}
+	if err := s.sq.Run(st); err != nil {
+		return err
+	}
+	// Catalog-mutating statements are checkpointed so their tables survive
+	// an ungraceful daemon death.
+	if st.Kind == spec.KindTrain || st.Kind == spec.KindPredict && st.Into != "" {
+		return s.m.persistMeta()
+	}
+	return nil
+}
+
+// oneLine collapses a statement's whitespace for log-style listings.
+func oneLine(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// roundMS renders a duration at millisecond precision.
+func roundMS(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -24,6 +24,12 @@ import (
 	"strings"
 )
 
+// MetaSuffix marks a model's metadata side table ("<model>__meta"). The
+// parser reserves names ending in it and the session layer derives side
+// table names and lock keys from it; sharing one constant keeps the
+// reservation and the aliasing-prevention logic in lockstep.
+const MetaSuffix = "__meta"
+
 // Kind discriminates the statement forms of the grammar.
 type Kind int
 
@@ -39,6 +45,15 @@ const (
 	KindShowTables
 	// KindShowTasks is SHOW TASKS: list the registered task specs.
 	KindShowTasks
+	// KindShowModels is SHOW MODELS: list persisted models (tables with a
+	// metadata side table).
+	KindShowModels
+	// KindShowJobs is SHOW JOBS: list background training jobs.
+	KindShowJobs
+	// KindWaitJob is WAIT JOB <id>: block until the job is terminal.
+	KindWaitJob
+	// KindCancelJob is CANCEL JOB <id>: cancel a queued/running job.
+	KindCancelJob
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +69,14 @@ func (k Kind) String() string {
 		return "SHOW TABLES"
 	case KindShowTasks:
 		return "SHOW TASKS"
+	case KindShowModels:
+		return "SHOW MODELS"
+	case KindShowJobs:
+		return "SHOW JOBS"
+	case KindWaitJob:
+		return "WAIT JOB"
+	case KindCancelJob:
+		return "CANCEL JOB"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -157,6 +180,11 @@ type Statement struct {
 	// Into is the destination: the model table for TRAIN, the optional
 	// output table for PREDICT.
 	Into string
+	// Async marks a TRAIN statement submitted as a background job
+	// (... INTO model ASYNC); only the server front end can run one.
+	Async bool
+	// JobID is the job of WAIT JOB / CANCEL JOB.
+	JobID int64
 }
 
 // WithValue returns the value of a WITH key, if present.

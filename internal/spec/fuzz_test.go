@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// seedStatements covers every statement form of the grammar — the extended
+// SELECT ... TO forms (with every tail clause), the legacy function calls,
+// the SHOW family, and the async-job grammar — plus a handful of
+// near-miss inputs that must error without panicking.
+var seedStatements = []string{
+	// Extended grammar, every clause.
+	"SELECT vec, label FROM papers TO TRAIN svm WITH alpha=0.1, epochs=5 COLUMN vec LABEL label INTO m;",
+	"SELECT * FROM papers TO TRAIN lr INTO m",
+	"select a, b, c from t where x >= 1.5 and y != 'z' to train lasso with mu=0.01 into 'my model';",
+	"SELECT * FROM ratings TO TRAIN lmf WITH rows=100, cols=200, rank=10, solver=als INTO f;",
+	"SELECT * FROM t TO TRAIN svm WITH order=shuffle_always, parallel=nolock, workers=4 INTO m;",
+	"SELECT * FROM t TO TRAIN svm WITH mrs=1000, seed=-3, alpha=1e-2 INTO m;",
+	"SELECT * FROM t TO PREDICT USING m;",
+	"SELECT * FROM t TO PREDICT WITH threshold=0.25 INTO scored USING m;",
+	"SELECT * FROM t TO EVALUATE USING 'm';",
+	// Async-job grammar.
+	"SELECT vec, label FROM papers TO TRAIN svm WITH epochs=50 INTO m ASYNC;",
+	"SELECT * FROM t TO TRAIN lr INTO m ASYNC",
+	"SHOW JOBS;",
+	"WAIT JOB 1;",
+	"WAIT JOB 0;",
+	"CANCEL JOB 42;",
+	// SHOW family.
+	"SHOW TABLES;",
+	"SHOW TASKS;",
+	"SHOW MODELS;",
+	// Legacy calls.
+	"SELECT SVMTrain('m', 'papers', 'vec', 'label');",
+	"SELECT LRTrain('m', 'papers', 'vec', 'label');",
+	"SELECT LMFTrain('m', 'ratings', 100, 200, 10);",
+	"SELECT CRFTrain('m', 'conll', 8000, 9);",
+	"SELECT Predict('m', 'papers', 'vec');",
+	"SELECT Tables();",
+	// Lexical corners: comments, escapes, '' quoting, signed numbers.
+	"-- just a comment\nSHOW TABLES;",
+	"SELECT * FROM t TO TRAIN svm WITH alpha=+0.5 INTO 'it''s';",
+	"SELECT * FROM t TO TRAIN svm WITH alpha=-.5 INTO 'a\\'b';",
+	// Near-misses that must error cleanly.
+	"SELECT * FROM t TO PREDICT USING m ASYNC;",
+	"WAIT JOB -1;",
+	"WAIT JOB x;",
+	"CANCEL 3;",
+	"SELECT * FROM t TO TRAIN svm;",
+	"SELECT * FROM",
+	"SELECT * FROM t TO TRAIN svm INTO m INTO n;",
+	"SHOW NOTHING;",
+	"'unterminated",
+	"SELECT 1e999999 FROM t;",
+	";;;",
+	"",
+}
+
+// FuzzParseStatement asserts the lexer+parser never panic and uphold two
+// invariants on any input: a nil error implies a non-nil statement with a
+// known kind, and SplitStatements always yields pieces the parser can be
+// pointed back at without crashing.
+func FuzzParseStatement(f *testing.F) {
+	for _, s := range seedStatements {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err == nil {
+			if st == nil {
+				t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+			}
+			if strings.Contains(st.Kind.String(), "Kind(") {
+				t.Fatalf("Parse(%q) produced unknown kind %v", src, st.Kind)
+			}
+		}
+		// Splitting must never panic either, and every piece must be
+		// re-parseable (successfully or with a clean error).
+		if utf8.ValidString(src) {
+			for _, piece := range SplitStatements(src) {
+				_, _ = Parse(piece)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip pins the intended verdict of every seed: the
+// grammar forms parse, the near-misses error. This keeps the corpus honest
+// when the grammar evolves (a seed silently flipping category would weaken
+// the fuzz target).
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	wantErr := map[string]bool{
+		"SELECT * FROM t TO PREDICT USING m ASYNC;": true,
+		"WAIT JOB -1;":                  true,
+		"WAIT JOB x;":                   true,
+		"CANCEL 3;":                     true,
+		"SELECT * FROM t TO TRAIN svm;": true,
+		"SELECT * FROM":                 true,
+		"SELECT * FROM t TO TRAIN svm INTO m INTO n;": true,
+		"SHOW NOTHING;":           true,
+		"'unterminated":           true,
+		"SELECT 1e999999 FROM t;": true,
+		";;;":                     true,
+		"":                        true,
+	}
+	for _, s := range seedStatements {
+		_, err := Parse(s)
+		if wantErr[s] && err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+		if !wantErr[s] && err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}

@@ -1,11 +1,19 @@
 package spec
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
 )
+
+// ErrUnterminatedString marks the one lexical error where more input can
+// still complete the statement: the text ends inside an open string
+// literal. Line-based front ends (the REPL, the wire protocol) use it via
+// Incomplete to keep reading instead of executing a half-received
+// statement.
+var ErrUnterminatedString = errors.New("unterminated string literal")
 
 // tokKind enumerates lexical token classes.
 type tokKind int
@@ -80,7 +88,7 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 			if !closed {
-				return nil, fmt.Errorf("spec: unterminated string starting at offset %d", start)
+				return nil, fmt.Errorf("spec: %w starting at offset %d", ErrUnterminatedString, start)
 			}
 			toks = append(toks, token{kind: tokString, text: src[start:i], str: b.String(), pos: start})
 		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
@@ -142,6 +150,85 @@ func isIdentStart(r rune) bool {
 func isIdentPart(r rune) bool {
 	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
+
+// Incomplete reports whether text ends inside an open string literal —
+// i.e. a trailing ';' cannot be a statement terminator yet and the reader
+// should keep accumulating lines (or refuse the input outright, as the
+// wire client does). Any other state counts as complete: no amount of
+// further input repairs a bad character, so executing and reporting the
+// error is the right move. The raw string-state scanner decides, not the
+// lexer, so an earlier lexical error (which aborts lex before it reaches
+// the quote) cannot mask an open string.
+func Incomplete(text string) bool {
+	var ts TermScanner
+	ts.Write(text)
+	return ts.inString
+}
+
+// Terminated reports whether text ends with a real statement terminator:
+// a ';' outside string literals and -- comments, followed only by
+// whitespace/comments. Line-based front ends (the REPL, the wire
+// protocol, the client) use this instead of a raw suffix check so they
+// never cut a statement at a fake boundary (';' as string payload or at
+// the end of a comment).
+func Terminated(text string) bool {
+	var ts TermScanner
+	ts.Write(text)
+	return ts.Terminated()
+}
+
+// TermScanner is the incremental form of Terminated: it tracks
+// terminator state across appended chunks in O(chunk) so a line-based
+// reader never re-scans its accumulated buffer (a network-facing daemon
+// cannot afford a per-line re-lex an attacker controls the length of).
+//
+// Feed it exactly the bytes appended to the statement buffer, at line
+// granularity (including each newline): the lexer's multi-character forms
+// (” and \' string escapes, the -- comment opener) never span a line
+// break, so per-line scanning matches lexing the whole buffer.
+type TermScanner struct {
+	inString   bool
+	terminated bool
+}
+
+// Write feeds one appended chunk (a line plus its newline).
+func (t *TermScanner) Write(chunk string) {
+	for i := 0; i < len(chunk); i++ {
+		c := chunk[i]
+		switch {
+		case t.inString:
+			if c == '\\' && i+1 < len(chunk) && chunk[i+1] == '\'' {
+				i++ // \' escape
+			} else if c == '\'' {
+				if i+1 < len(chunk) && chunk[i+1] == '\'' {
+					i++ // '' escape stays inside the string
+				} else {
+					t.inString = false
+				}
+			}
+		case c == '-' && i+1 < len(chunk) && chunk[i+1] == '-':
+			for i < len(chunk) && chunk[i] != '\n' {
+				i++ // comment runs to end of line
+			}
+		case c == '\'':
+			t.inString = true
+			t.terminated = false
+		case c == ';':
+			t.terminated = true
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			// whitespace after a ';' keeps it terminal
+		default:
+			t.terminated = false
+		}
+	}
+}
+
+// Terminated reports whether everything fed so far ends at a statement
+// terminator.
+func (t *TermScanner) Terminated() bool { return !t.inString && t.terminated }
+
+// Reset clears the scanner for the next statement buffer.
+func (t *TermScanner) Reset() { *t = TermScanner{} }
 
 // SplitStatements cuts a multi-statement text buffer at ';' boundaries
 // using the lexer itself, so semicolons inside quoted strings or behind

@@ -3,6 +3,8 @@ package spec
 import (
 	"fmt"
 	"strings"
+
+	"bismarck/internal/engine"
 )
 
 // Parse parses one statement of the declarative grammar (see the package
@@ -148,12 +150,33 @@ func (p *parser) statement() (*Statement, error) {
 			return &Statement{Kind: KindShowTables}, nil
 		case p.keyword("TASKS"):
 			return &Statement{Kind: KindShowTasks}, nil
+		case p.keyword("MODELS"):
+			return &Statement{Kind: KindShowModels}, nil
+		case p.keyword("JOBS"):
+			return &Statement{Kind: KindShowJobs}, nil
 		}
-		return nil, p.errf("expected TABLES or TASKS after SHOW, found %s", p.peek())
+		return nil, p.errf("expected TABLES, TASKS, MODELS or JOBS after SHOW, found %s", p.peek())
+	case p.keyword("WAIT"):
+		return p.jobStatement(KindWaitJob, "WAIT")
+	case p.keyword("CANCEL"):
+		return p.jobStatement(KindCancelJob, "CANCEL")
 	case p.keyword("SELECT"):
 		return p.selectStatement()
 	}
-	return nil, p.errf("expected SELECT or SHOW, found %s", p.peek())
+	return nil, p.errf("expected SELECT, SHOW, WAIT or CANCEL, found %s", p.peek())
+}
+
+// jobStatement parses the tail of WAIT JOB <id> / CANCEL JOB <id>.
+func (p *parser) jobStatement(kind Kind, verb string) (*Statement, error) {
+	if !p.keyword("JOB") {
+		return nil, p.errf("expected JOB after %s, found %s", verb, p.peek())
+	}
+	t := p.peek()
+	if t.kind != tokNumber || !t.isInt || t.ival < 0 {
+		return nil, p.errf("expected a job id after %s JOB, found %s", verb, t)
+	}
+	p.i++
+	return &Statement{Kind: kind, JobID: t.ival}, nil
 }
 
 // selectStatement parses everything after SELECT: either a legacy function
@@ -237,6 +260,7 @@ func (p *parser) tailClauses(st *Statement) error {
 			if err := once("WITH"); err != nil {
 				return err
 			}
+			withKeys := map[string]bool{}
 			for {
 				key, err := p.ident("a parameter name")
 				if err != nil {
@@ -250,11 +274,10 @@ func (p *parser) tailClauses(st *Statement) error {
 					return err
 				}
 				key = strings.ToLower(key)
-				for _, prev := range st.With {
-					if prev.Key == key {
-						return p.errf("duplicate WITH parameter %q", key)
-					}
+				if withKeys[key] {
+					return p.errf("duplicate WITH parameter %q", key)
 				}
+				withKeys[key] = true
 				st.With = append(st.With, Param{Key: key, Val: val})
 				if !p.accept(",") {
 					break
@@ -301,6 +324,11 @@ func (p *parser) tailClauses(st *Statement) error {
 				return err
 			}
 			st.Into = m
+		case p.keyword("ASYNC"):
+			if err := once("ASYNC"); err != nil {
+				return err
+			}
+			st.Async = true
 		default:
 			return nil
 		}
@@ -337,6 +365,9 @@ func (p *parser) whereClause(st *Statement) error {
 
 // validate checks clause/kind combinations the clause loop cannot.
 func (p *parser) validate(st *Statement) error {
+	if err := ValidateNames(st); err != nil {
+		return err
+	}
 	switch st.Kind {
 	case KindTrain:
 		if st.Into == "" {
@@ -352,6 +383,47 @@ func (p *parser) validate(st *Statement) error {
 		if st.Kind == KindEvaluate && st.Into != "" {
 			return p.errf("TO EVALUATE does not take INTO")
 		}
+		if st.Async {
+			return p.errf("ASYNC applies to TO TRAIN only")
+		}
+	}
+	return nil
+}
+
+// ValidateNames enforces the statement-layer name rules. The parser runs
+// it for early errors, and the session layer runs it again on every
+// Run — Statement is an exported type, so a programmatically built one
+// must face the same rules where the tables are actually touched.
+func ValidateNames(st *Statement) error {
+	for _, name := range []string{st.Into, st.Model} {
+		if name == "" {
+			continue
+		}
+		// "__meta" names are reserved for model metadata side tables:
+		// training INTO x__meta would alias another model's side table
+		// under a different lock key (see DESIGN.md §6) and corrupt SHOW
+		// MODELS' pairing of coefficient and metadata tables.
+		if strings.HasSuffix(name, MetaSuffix) {
+			return fmt.Errorf("spec: name %q is reserved for model metadata (pick a name not ending in %s)", name, MetaSuffix)
+		}
+		// Destination names become heap file names; reject path tricks and
+		// over-long names up front so a long TRAIN cannot run to completion
+		// (or occupy an async worker) only to fail at save time. The
+		// derived __meta side-table name must pass too (length cap).
+		if err := engine.ValidTableName(name); err != nil {
+			return err
+		}
+		if err := engine.ValidTableName(name + MetaSuffix); err != nil {
+			return err
+		}
+	}
+	// INTO naming the FROM source (or, for PREDICT, the USING model) would
+	// drop that table to make room for the result — silent data loss.
+	if st.Into != "" && st.Into == st.From {
+		return fmt.Errorf("spec: INTO %q would overwrite the FROM source table", st.Into)
+	}
+	if st.Kind == KindPredict && st.Into != "" && st.Into == st.Model {
+		return fmt.Errorf("spec: PREDICT INTO %q would overwrite the model it is using", st.Into)
 	}
 	return nil
 }
@@ -386,7 +458,11 @@ func (p *parser) legacyCall() (*Statement, error) {
 			break
 		}
 	}
-	return lowerLegacy(fn, args)
+	st, err := lowerLegacy(fn, args)
+	if err != nil {
+		return nil, err
+	}
+	return st, p.validate(st)
 }
 
 // legacyArity describes one legacy function's shape.

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -168,7 +169,7 @@ func TestParseQuotedCommas(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"DROP TABLE x":                                     "expected SELECT or SHOW",
+		"DROP TABLE x":                                     "expected SELECT, SHOW, WAIT or CANCEL",
 		"SELECT * FROM t TO TRAIN lr":                      "INTO",
 		"SELECT * FROM t TO PREDICT":                       "USING",
 		"SELECT * FROM t TO EXPLAIN lr INTO m":             "TRAIN, PREDICT or EVALUATE",
@@ -231,6 +232,216 @@ func TestSplitStatements(t *testing.T) {
 		got := SplitStatements(c.in)
 		if !reflect.DeepEqual(got, c.want) {
 			t.Errorf("SplitStatements(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseAsyncAndJobStatements covers the server-oriented grammar: the
+// ASYNC tail clause on TRAIN and the SHOW/WAIT/CANCEL job statements.
+func TestParseAsyncAndJobStatements(t *testing.T) {
+	st, err := Parse(`SELECT vec, label FROM papers TO TRAIN svm WITH epochs=50 INTO m ASYNC;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindTrain || !st.Async || st.Into != "m" {
+		t.Fatalf("async train: %+v", st)
+	}
+	// ASYNC composes with clauses in any order.
+	st, err = Parse(`SELECT * FROM t TO TRAIN lr ASYNC INTO m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Async || st.Into != "m" {
+		t.Fatalf("async before INTO: %+v", st)
+	}
+
+	for src, want := range map[string]Kind{
+		"SHOW MODELS;":   KindShowModels,
+		"SHOW JOBS;":     KindShowJobs,
+		"WAIT JOB 3;":    KindWaitJob,
+		"CANCEL JOB 12;": KindCancelJob,
+	} {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if st.Kind != want {
+			t.Fatalf("%s parsed as %v, want %v", src, st.Kind, want)
+		}
+	}
+	if st, _ := Parse("WAIT JOB 3;"); st.JobID != 3 {
+		t.Fatalf("job id: %+v", st)
+	}
+
+	for _, bad := range []string{
+		"SELECT * FROM t TO PREDICT USING m ASYNC;", // ASYNC is TRAIN-only
+		"SELECT * FROM t TO TRAIN svm INTO m ASYNC ASYNC;",
+		"WAIT JOB;",
+		"WAIT JOB -1;",
+		"WAIT JOB 1.5;",
+		"CANCEL JOB m;",
+		"SHOW JOB 1;",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// TestIncomplete pins the lexer-completeness probe the line front ends
+// share: only an open string literal counts as incomplete.
+func TestIncomplete(t *testing.T) {
+	for text, want := range map[string]bool{
+		"SELECT * FROM t TO TRAIN lr INTO 'a;":    true,
+		"INTO 'it''s still open;":                 true,
+		"SELECT * FROM t;":                        false,
+		"SELECT * FROM t TO TRAIN lr INTO 'a;b';": false,
+		"":              false,
+		"bad ? char;":   false, // not repairable by more input
+		"SELECT ? 'abc": true,  // lex error before the quote must not mask the open string
+	} {
+		if got := Incomplete(text); got != want {
+			t.Errorf("Incomplete(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+// TestTermScannerAgreesWithLexer cross-checks the streaming automaton
+// against the real lexer, its ground truth: wherever lex succeeds, the
+// scanner's terminator verdict must match the last token, and wherever
+// lex reports an open string the scanner must be inString.
+func TestTermScannerAgreesWithLexer(t *testing.T) {
+	for _, text := range append(append([]string{}, seedStatements...),
+		"SELECT 'a;\nb';", "INTO 'x''y';", "INTO 'x\\'y';", "-- c;\nSHOW TABLES;",
+		"a; b", "a;\n-- done", "';' ';';", "'open", "ok; 'open",
+	) {
+		var ts TermScanner
+		ts.Write(text)
+		toks, err := lex(text)
+		switch {
+		case err == nil:
+			wantTerm := len(toks) >= 2 &&
+				toks[len(toks)-2].kind == tokSymbol && toks[len(toks)-2].text == ";"
+			if ts.Terminated() != wantTerm {
+				t.Errorf("Terminated(%q) = %v, lexer says %v", text, ts.Terminated(), wantTerm)
+			}
+			if ts.inString {
+				t.Errorf("inString(%q) = true on cleanly-lexed text", text)
+			}
+		case errors.Is(err, ErrUnterminatedString):
+			if !ts.inString {
+				t.Errorf("inString(%q) = false, lexer reports an open string", text)
+			}
+		}
+	}
+}
+
+// TestTerminated pins the lexer-based statement-terminator probe: only a
+// ';' token terminates — not one inside a string or a -- comment.
+func TestTerminated(t *testing.T) {
+	for text, want := range map[string]bool{
+		"SELECT * FROM t;":             true,
+		"SELECT * FROM t; -- trailing": true,
+		"SELECT * FROM t":              false,
+		"SHOW -- note;\n":              false, // the ';' is comment payload
+		"SHOW -- note;\nTABLES;":       true,
+		"INTO 'a;":                     false, // open string literal
+		"INTO 'a;b';":                  true,
+		"-- comment only;":             false,
+		"":                             false,
+		"bad ? char":                   false, // no terminator yet
+		"bad ? char;":                  true,  // terminated; Parse reports the error
+		"SELECT 1;\n-- post comment":   true,  // trailing comment keeps the ';' terminal
+	} {
+		if got := Terminated(text); got != want {
+			t.Errorf("Terminated(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+// TestTermScannerIncrementalMatchesWhole: feeding lines incrementally
+// must agree with scanning the concatenated buffer — the wire protocol
+// depends on it to avoid re-lexing per line.
+func TestTermScannerIncrementalMatchesWhole(t *testing.T) {
+	lines := []string{
+		"SELECT vec, label FROM papers -- features;",
+		"TO TRAIN lr WITH epochs=1",
+		"INTO 'm;",
+		"x''y\\';",
+		"still in string'",
+		";",
+		"SHOW TABLES;",
+	}
+	var inc TermScanner
+	buf := ""
+	for _, ln := range lines {
+		inc.Write(ln)
+		inc.Write("\n")
+		buf += ln + "\n"
+		if got, want := inc.Terminated(), Terminated(buf); got != want {
+			t.Fatalf("after %q: incremental=%v whole=%v", ln, got, want)
+		}
+	}
+	if !inc.Terminated() {
+		t.Fatal("final buffer should be terminated")
+	}
+	inc.Reset()
+	if inc.Terminated() {
+		t.Fatal("reset scanner reports terminated")
+	}
+}
+
+// TestReservedMetaNamesRejected: user statements cannot name models or
+// destinations ending in __meta — those alias metadata side tables under
+// a different lock key.
+func TestReservedMetaNamesRejected(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT * FROM t TO TRAIN lr INTO m__meta;",
+		"SELECT * FROM t TO PREDICT INTO out__meta USING m;",
+		"SELECT * FROM t TO PREDICT USING m__meta;",
+		"SELECT * FROM t TO EVALUATE USING 'm__meta';",
+		"SELECT SVMTrain('m__meta', 't', 'vec', 'label');",
+	} {
+		if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "reserved") {
+			t.Errorf("Parse(%q): %v (want reserved-name error)", bad, err)
+		}
+	}
+	// Reading a side table as a data source stays legal.
+	if _, err := Parse("SELECT * FROM m__meta TO PREDICT USING m;"); err != nil {
+		t.Errorf("FROM __meta should parse: %v", err)
+	}
+}
+
+// TestPathTraversalNamesRejectedAtParse: destination names become heap
+// file names; path tricks must fail at parse time, not after a full
+// training run (or inside an async worker).
+func TestPathTraversalNamesRejectedAtParse(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT * FROM t TO TRAIN lr INTO '../evil';",
+		"SELECT * FROM t TO TRAIN lr INTO 'a/b' ASYNC;",
+		"SELECT * FROM t TO PREDICT INTO 'a\\b' USING m;",
+		"SELECT * FROM t TO PREDICT USING 'a/..';",
+		"SELECT SVMTrain('../m', 't', 'vec', 'label');",
+	} {
+		if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "invalid table name") {
+			t.Errorf("Parse(%q): %v (want invalid-table-name error)", bad, err)
+		}
+	}
+}
+
+// TestIntoCannotOverwriteSource: INTO naming the FROM table (or the USING
+// model, or an over-long name) is rejected at parse time.
+func TestIntoCannotOverwriteSource(t *testing.T) {
+	long := strings.Repeat("n", 130)
+	for src, want := range map[string]string{
+		"SELECT * FROM papers TO TRAIN lr INTO papers;":                        "overwrite the FROM",
+		"SELECT * FROM out TO PREDICT INTO out USING m;":                       "overwrite the FROM",
+		"SELECT * FROM t TO PREDICT INTO m USING m;":                           "overwrite the model",
+		"SELECT * FROM t TO TRAIN lr INTO '" + long + "';":                     "longer than",
+		"SELECT * FROM t TO TRAIN lr INTO '" + strings.Repeat("n", 125) + "';": "longer than", // base fits, __meta does not
+	} {
+		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%.60q...): %v (want %q)", src, err, want)
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"bismarck/internal/baselines"
 	"bismarck/internal/core"
@@ -35,7 +36,9 @@ import (
 	_ "bismarck/internal/tasks/register"
 )
 
-// Session executes statements against one catalog.
+// Session executes statements against one catalog. A Session itself is
+// not safe for concurrent use — each client gets its own — but sessions
+// sharing a catalog are safe against each other when they share a Guard.
 type Session struct {
 	Cat *engine.Catalog
 	Out io.Writer
@@ -43,6 +46,15 @@ type Session struct {
 	// sets neither; zero values fall back to 20 and the task's preference.
 	Epochs int
 	Alpha  float64
+	// Guard, when non-nil, serializes access to shared catalog tables
+	// against other sessions on the same catalog (the server's session
+	// manager installs one; nil means the session owns the catalog).
+	Guard Guard
+	// PreSave, when non-nil, runs after training succeeds and immediately
+	// before the model is persisted; an error discards the trained result
+	// and leaves any existing model tables untouched. The server's job
+	// layer uses it to honor CANCEL JOB at the save boundary.
+	PreSave func(model string) error
 }
 
 // Exec parses and runs one statement.
@@ -54,8 +66,29 @@ func (s *Session) Exec(stmt string) error {
 	return s.Run(st)
 }
 
-// Run executes a parsed statement.
+// Run executes a parsed statement. Name rules are re-checked here (not
+// just in the parser) because spec.Statement is exported: a
+// programmatically built statement must face the same rules where the
+// tables are actually touched.
 func (s *Session) Run(st *spec.Statement) error {
+	if err := spec.ValidateNames(st); err != nil {
+		return err
+	}
+	// Catch file-catalog case collisions before the work happens: creating
+	// "Forest" beside "forest" would fail (shared heap file on
+	// case-insensitive filesystems), but only at save time — after the
+	// whole training run. Exact-name matches are fine (replacement). This
+	// pre-check is best-effort: it holds no lock across the training, so a
+	// name created concurrently still surfaces at save time through the
+	// engine's own check (the backstop that actually guarantees no
+	// collision is ever created).
+	if st.Into != "" {
+		for _, n := range []string{st.Into, metaTable(st.Into)} {
+			if ex := s.Cat.FindCaseConflict(n); ex != "" {
+				return fmt.Errorf("sqlish: INTO %q collides case-insensitively with existing table %q", n, ex)
+			}
+		}
+	}
 	switch st.Kind {
 	case spec.KindShowTables:
 		for _, n := range s.Cat.Names() {
@@ -70,6 +103,10 @@ func (s *Session) Run(st *spec.Statement) error {
 			}
 		}
 		return nil
+	case spec.KindShowModels:
+		return s.showModels()
+	case spec.KindShowJobs, spec.KindWaitJob, spec.KindCancelJob:
+		return fmt.Errorf("sqlish: %v needs the job scheduler — connect to a bismarckd server", st.Kind)
 	case spec.KindTrain:
 		return s.train(st)
 	case spec.KindPredict:
@@ -95,11 +132,7 @@ func (s *Session) prepare(st *spec.Statement) (*spec.TaskSpec, spec.Knobs, spec.
 	if err != nil {
 		return nil, spec.Knobs{}, nil, nil, err
 	}
-	src, err := s.Cat.Get(st.From)
-	if err != nil {
-		return nil, spec.Knobs{}, nil, nil, err
-	}
-	view, err := spec.ProjectView(src, st, ts.Schema, spec.ViewOptions{})
+	view, err := s.projectFrom(st, ts.Schema, spec.ViewOptions{})
 	if err != nil {
 		return nil, spec.Knobs{}, nil, nil, err
 	}
@@ -128,8 +161,49 @@ func (s *Session) prepare(st *spec.Statement) (*spec.TaskSpec, spec.Knobs, spec.
 	return ts, knobs, params, view, nil
 }
 
+// projectFrom resolves the source table and materializes the statement's
+// view of it under the source name's shared lock: projection is the only
+// moment a statement scans a shared table, so the lock window is exactly
+// the copy (training and scoring then run on the private view).
+func (s *Session) projectFrom(st *spec.Statement, schema engine.Schema, opt spec.ViewOptions) (*spec.View, error) {
+	defer s.rlockName(st.From)()
+	src, err := s.Cat.Get(st.From)
+	if err != nil {
+		return nil, err
+	}
+	return spec.ProjectView(src, st, schema, opt)
+}
+
+// showModels lists every persisted model (a coefficient table paired with
+// its __meta side table) and the task that trained it.
+func (s *Session) showModels() error {
+	for _, name := range s.Cat.Names() {
+		base, ok := strings.CutSuffix(name, metaSuffix)
+		if !ok {
+			continue
+		}
+		unlock := s.rlockName(base)
+		taskName, _, err := s.loadMeta(base)
+		if err == nil {
+			if _, err := s.Cat.Get(base); err != nil {
+				err = fmt.Errorf("missing coefficient table")
+			}
+		}
+		unlock()
+		if err != nil {
+			fmt.Fprintf(s.Out, "%-12s (broken: %v)\n", base, err)
+			continue
+		}
+		fmt.Fprintf(s.Out, "%-12s task=%s\n", base, taskName)
+	}
+	return nil
+}
+
 // train runs a TO TRAIN statement end-to-end.
 func (s *Session) train(st *spec.Statement) error {
+	if st.Async {
+		return fmt.Errorf("sqlish: ASYNC training needs the job scheduler — connect to a bismarckd server")
+	}
 	ts, knobs, params, view, err := s.prepare(st)
 	if err != nil {
 		return err
@@ -146,6 +220,11 @@ func (s *Session) train(st *spec.Statement) error {
 	}
 	if err != nil {
 		return err
+	}
+	if s.PreSave != nil {
+		if err := s.PreSave(st.Into); err != nil {
+			return err
+		}
 	}
 	if err := s.saveModel(st.Into, ts, task, out.Model); err != nil {
 		return err
@@ -223,13 +302,18 @@ func (s *Session) restore(st *spec.Statement, opt spec.ViewOptions) (*spec.TaskS
 	if err != nil {
 		return fail(err)
 	}
+	// The model name's shared lock spans both the metadata and coefficient
+	// reads, so a concurrent re-TRAIN of the same name can never hand us
+	// metadata from one model generation and coefficients from another.
+	unlock := s.rlockName(st.Model)
 	taskName, kv, err := s.loadMeta(st.Model)
-	if err != nil {
-		return fail(err)
+	var w vector.Dense
+	if err == nil {
+		var dim int64
+		fmt.Sscan(kv["__dim"], &dim)
+		w, err = s.loadModel(st.Model, dim)
 	}
-	var dim int64
-	fmt.Sscan(kv["__dim"], &dim)
-	w, err := s.loadModel(st.Model, dim)
+	unlock()
 	if err != nil {
 		return fail(err)
 	}
@@ -242,11 +326,7 @@ func (s *Session) restore(st *spec.Statement, opt spec.ViewOptions) (*spec.TaskS
 	if err != nil {
 		return fail(err)
 	}
-	src, err := s.Cat.Get(st.From)
-	if err != nil {
-		return fail(err)
-	}
-	view, err := spec.ProjectView(src, st, ts.Schema, opt)
+	view, err := s.projectFrom(st, ts.Schema, opt)
 	if err != nil {
 		return fail(err)
 	}
@@ -317,19 +397,27 @@ func (s *Session) predict(st *spec.Statement) error {
 		return fmt.Errorf("sqlish: no rows to predict in %s", st.From)
 	}
 	if st.Into != "" {
-		dst, err := s.replaceTable(st.Into, engine.Schema{
-			{Name: "id", Type: engine.TInt64},
-			{Name: "score", Type: engine.TFloat64},
-		})
-		if err != nil {
-			return err
-		}
-		for _, p := range preds {
-			if err := dst.Insert(engine.Tuple{engine.I64(p.id), engine.F64(p.score)}); err != nil {
+		// The destination's exclusive lock spans drop, recreate, and fill:
+		// another session scanning the old table (or the half-filled new
+		// one) would otherwise see a torn result set.
+		unlock := s.lockName(st.Into)
+		err := func() error {
+			dst, err := s.replaceTable(st.Into, engine.Schema{
+				{Name: "id", Type: engine.TInt64},
+				{Name: "score", Type: engine.TFloat64},
+			})
+			if err != nil {
 				return err
 			}
-		}
-		if err := dst.Flush(); err != nil {
+			for _, p := range preds {
+				if err := dst.Insert(engine.Tuple{engine.I64(p.id), engine.F64(p.score)}); err != nil {
+					return err
+				}
+			}
+			return dst.Flush()
+		}()
+		unlock()
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(s.Out, "predicted %d rows into table %q\n", n, st.Into)
@@ -382,12 +470,20 @@ var MetaSchema = engine.Schema{
 	{Name: "value", Type: engine.TString},
 }
 
+// metaSuffix marks a model's metadata side table (shared with the
+// parser's reserved-name check and the Guard's lock-key collapsing).
+const metaSuffix = spec.MetaSuffix
+
 // metaTable names the metadata side table of a model.
-func metaTable(model string) string { return model + "__meta" }
+func metaTable(model string) string { return model + metaSuffix }
 
 // replaceTable drops any stale table of the same name — together with its
 // model-metadata side table, so overwriting a model's name can never leave
-// stale metadata pointing at non-model rows — and recreates it.
+// stale metadata pointing at non-model rows — and recreates it. Callers
+// replacing a shared table must hold the name's exclusive Guard lock for
+// the whole replace-and-fill window (saveModel and the PREDICT INTO path
+// do); the engine catalog's own mutex only makes the individual drop and
+// create atomic, not the gap between them.
 func (s *Session) replaceTable(name string, schema engine.Schema) (*engine.Table, error) {
 	if _, err := s.Cat.Get(name); err == nil {
 		if err := s.Cat.Drop(name); err != nil {
@@ -402,7 +498,11 @@ func (s *Session) replaceTable(name string, schema engine.Schema) (*engine.Table
 	return s.Cat.Create(name, schema)
 }
 
+// saveModel persists the trained model under the name's exclusive lock,
+// spanning both the coefficient table and the metadata side table so no
+// reader can pair new coefficients with old metadata.
 func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w vector.Dense) error {
+	defer s.lockName(name)()
 	tbl, err := s.replaceTable(name, ModelSchema)
 	if err != nil {
 		return err
@@ -472,6 +572,11 @@ func (s *Session) loadModel(name string, dim int64) (vector.Dense, error) {
 func (s *Session) loadMeta(name string) (string, map[string]string, error) {
 	tbl, err := s.Cat.Get(metaTable(name))
 	if err != nil {
+		if _, modelErr := s.Cat.Get(name); modelErr != nil {
+			// Neither coefficients nor metadata: the model was never
+			// trained (or was dropped) — report that, not a catalog error.
+			return "", nil, &UnknownModelError{Model: name}
+		}
 		return "", nil, fmt.Errorf("sqlish: model %q has no metadata (was it trained by this interface?)", name)
 	}
 	task := ""
