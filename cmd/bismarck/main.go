@@ -77,8 +77,13 @@ func main() {
 	} else {
 		repl(sess)
 	}
-	// Save even after a failed statement: earlier statements in the same
-	// invocation may have created tables that must reach catalog.json.
+	// Discard any in-flight shadow generation a failed statement left
+	// registered, then save even after a failed statement: earlier
+	// statements in the same invocation may have created tables that must
+	// reach catalog.json.
+	if err := cat.DiscardShadows(); err != nil {
+		fmt.Fprintf(os.Stderr, "bismarck: discarding in-flight shadows: %v\n", err)
+	}
 	if err := cat.Save(); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarck: saving catalog: %v\n", err)
 		status = 1

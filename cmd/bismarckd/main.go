@@ -52,6 +52,19 @@ func run(dataDir, listen string, workers, epochs int, alpha float64) error {
 	if err != nil {
 		return err
 	}
+	// Opening doubled as crash recovery: say what it found (swaps rolled
+	// forward, orphan shadows swept, tables it refused to resurrect).
+	if r := cat.Recovery; !r.Clean() {
+		for _, name := range r.Completed {
+			fmt.Printf("bismarckd: recovery: completed committed swap of %q\n", name)
+		}
+		for name, reason := range r.Skipped {
+			fmt.Printf("bismarckd: recovery: not registering %q (%s)\n", name, reason)
+		}
+		for _, f := range r.Swept {
+			fmt.Printf("bismarckd: recovery: swept %s\n", f)
+		}
+	}
 	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha})
 	srv := server.NewTCPServer(mgr)
 
@@ -81,6 +94,12 @@ func run(dataDir, listen string, workers, epochs int, alpha float64) error {
 	// told about reaches catalog.json.
 	srv.Close()
 	mgr.Drain()
+	// Discard any in-flight shadow generations an aborted save left behind
+	// (a failed job's cleanup can itself fail): they must not reach the
+	// final catalog save or linger as orphan heaps for the next open.
+	if err := cat.DiscardShadows(); err != nil {
+		fmt.Fprintf(os.Stderr, "bismarckd: discarding in-flight shadows: %v\n", err)
+	}
 	saveErr := cat.Save()
 	closeErr := cat.Close()
 	if serveErr != nil {

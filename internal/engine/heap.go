@@ -20,6 +20,8 @@ type pageStore interface {
 	appendPage(p page) error
 	// reset discards all pages.
 	reset() error
+	// sync forces written pages to stable storage (fsync for file stores).
+	sync() error
 	close() error
 }
 
@@ -48,6 +50,8 @@ func (m *memStore) reset() error {
 	m.pages = nil
 	return nil
 }
+
+func (m *memStore) sync() error { return nil }
 
 func (m *memStore) close() error { return nil }
 
@@ -104,6 +108,8 @@ func (fs *fileStore) reset() error {
 	fs.pool.InvalidateAll()
 	return nil
 }
+
+func (fs *fileStore) sync() error { return fs.f.Sync() }
 
 func (fs *fileStore) close() error { return fs.f.Close() }
 
@@ -193,6 +199,22 @@ func (h *Heap) flushCur() error {
 // Flush seals the in-memory tail page so all records live on flushed pages.
 // Parallel page-range scans require a flushed heap.
 func (h *Heap) Flush() error { return h.flushCur() }
+
+// Sync flushes the tail page and forces every written page to stable
+// storage. The shadow-generation swap calls it before its commit point: a
+// generation is only publishable once its heap would survive a crash.
+func (h *Heap) Sync() error {
+	if err := h.flushCur(); err != nil {
+		return err
+	}
+	return h.st.sync()
+}
+
+// Abandon releases the underlying store WITHOUT flushing the tail page —
+// the crash-simulation teardown for fault-injection tests: a SIGKILLed
+// process never gets to write its in-memory tail, and neither must the
+// simulated one.
+func (h *Heap) Abandon() error { return h.st.close() }
 
 func (h *Heap) appendOverflow(rec []byte) error {
 	// First page: kind, then uint32 total length, then data.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // catalogMeta is the on-disk description of a file catalog: table names and
@@ -16,6 +17,13 @@ type catalogMeta struct {
 type tableMeta struct {
 	Name    string       `json:"name"`
 	Columns []columnMeta `json:"columns"`
+	// PendingFrom is the swap protocol's generation marker: when set, the
+	// table's committed data lives in the heap file of this (shadow) name,
+	// awaiting its rename to <Name>.heap. The catalog.json rename that
+	// publishes this marker IS the swap's commit point; recovery rolls the
+	// file rename forward, so a crash anywhere after the marker lands
+	// yields the complete new generation.
+	PendingFrom string `json:"pending_from,omitempty"`
 }
 
 type columnMeta struct {
@@ -70,8 +78,20 @@ func (c *Catalog) SaveMeta() error {
 
 func (c *Catalog) snapshotMetaLocked() catalogMeta {
 	var meta catalogMeta
-	for _, t := range c.tables {
-		tm := tableMeta{Name: t.Name}
+	for name, t := range c.tables {
+		// In-flight shadow generations are not tables yet: checkpointing
+		// one would resurrect a half-filled heap after a crash. Their swap
+		// commit writes its own snapshot (with generation markers) when the
+		// generation is complete and synced.
+		if IsShadowName(name) {
+			continue
+		}
+		// A table whose committed swap still owes its heap rename (a live
+		// process survived a post-commit failure) keeps its generation
+		// marker in every checkpoint until the rename lands — otherwise a
+		// later checkpoint would erase the reopened catalog's only clue
+		// that the data lives under the shadow heap name.
+		tm := tableMeta{Name: t.Name, PendingFrom: c.pending[name]}
 		for _, col := range t.Schema {
 			tm.Columns = append(tm.Columns, columnMeta{Name: col.Name, Type: uint8(col.Type)})
 		}
@@ -80,28 +100,102 @@ func (c *Catalog) snapshotMetaLocked() catalogMeta {
 	return meta
 }
 
-// writeMeta persists the snapshot atomically (temp file + rename): a
-// crash mid-write must leave the previous catalog.json intact, not a
-// truncated JSON that bricks the next OpenFileCatalog. Callers hold
-// saveMu, so concurrent checkpoints cannot interleave on the temp file.
+// writeMeta persists the snapshot atomically and durably (temp file +
+// fsync + rename + directory fsync): a crash mid-write must leave the
+// previous catalog.json intact, not a truncated JSON that bricks the next
+// OpenFileCatalog — and once writeMeta returns, the rename itself must
+// survive a crash, because the swap protocol uses exactly this rename as
+// its commit point. Callers hold saveMu, so concurrent checkpoints cannot
+// interleave on the temp file.
 func (c *Catalog) writeMeta(meta catalogMeta) error {
 	b, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(c.dir, catalogFile+".tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(c.dir, catalogFile))
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, catalogFile)); err != nil {
+		return err
+	}
+	return syncDir(c.dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename in it is durable.
+// Filesystems that refuse directory fsync (some CI mounts) don't get to
+// fail the commit — the rename is still atomic, just not yet forced out.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// RecoveryReport summarizes what OpenFileCatalog's recovery sweep did, so
+// the daemon can log an honest account of what a crash cost (usually:
+// nothing).
+type RecoveryReport struct {
+	// Completed lists tables whose committed-but-unrenamed swap was rolled
+	// forward (the crash landed between the commit rename and the heap
+	// renames).
+	Completed []string
+	// Skipped maps table names recorded in catalog.json that were NOT
+	// registered to the reason (missing heap, truncated heap, condemned
+	// with its model/__meta partner, uncommitted shadow).
+	Skipped map[string]string
+	// Swept lists orphan files removed or quarantined (uncommitted shadow
+	// heaps, heaps of skipped tables moved aside as *.heap.orphaned, stale
+	// checkpoint temp files).
+	Swept []string
+}
+
+// Clean reports that recovery had nothing to repair.
+func (r RecoveryReport) Clean() bool {
+	return len(r.Completed) == 0 && len(r.Skipped) == 0 && len(r.Swept) == 0
 }
 
 // OpenFileCatalog loads a catalog previously written with Save, reopening
 // every table's heap file. A missing catalog.json yields an empty catalog.
+//
+// Opening doubles as crash recovery for the shadow-swap protocol
+// (Catalog.Swap), restoring the invariant that every registered table is a
+// complete committed generation:
+//
+//  1. Entries carrying a generation marker (PendingFrom) had committed a
+//     swap whose heap renames may not have happened — the shadow heap, if
+//     still present, is renamed into place (roll-forward).
+//  2. An entry whose heap file is missing or truncated (not page-aligned)
+//     is NOT registered — the old behavior of silently resurrecting it as
+//     an empty table is exactly the data-loss bug the swap protocol fixes.
+//     Its model/__meta partner entry is condemned with it, so a model can
+//     never reopen as a coefficients/metadata mix; left-over heaps are
+//     quarantined as *.heap.orphaned rather than reopened.
+//  3. Uncommitted shadow heaps (*__shadow.heap) and stale catalog.json.tmp
+//     files are deleted.
+//
+// What recovery found is recorded in the returned catalog's Recovery field.
 func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 	c := NewFileCatalog(dir, poolPages)
+	c.Recovery.Skipped = map[string]string{}
 	b, err := os.ReadFile(filepath.Join(dir, catalogFile))
 	if os.IsNotExist(err) {
+		c.sweepStrayFiles()
 		return c, nil
 	}
 	if err != nil {
@@ -111,14 +205,190 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 	if err := json.Unmarshal(b, &meta); err != nil {
 		return nil, fmt.Errorf("engine: corrupt catalog.json: %w", err)
 	}
+
+	// Phase 1 — roll committed swaps forward: a generation marker means the
+	// commit point passed, so the data in the shadow-named heap is THE
+	// table; complete the rename the crash interrupted. (If the shadow heap
+	// is gone, the rename already happened before the crash.)
+	hadMarker := false
 	for _, tm := range meta.Tables {
+		if tm.PendingFrom == "" || IsShadowName(tm.Name) {
+			continue
+		}
+		hadMarker = true
+		if _, err := os.Stat(c.heapPath(tm.PendingFrom)); err == nil {
+			if err := os.Rename(c.heapPath(tm.PendingFrom), c.heapPath(tm.Name)); err != nil {
+				return nil, fmt.Errorf("engine: completing committed swap of %q: %w", tm.Name, err)
+			}
+			c.Recovery.Completed = append(c.Recovery.Completed, tm.Name)
+		}
+	}
+
+	// Phase 2 — decide which entries are registrable on their own merits.
+	entries := map[string]bool{}
+	badHeap := map[string]string{}
+	for _, tm := range meta.Tables {
+		if IsShadowName(tm.Name) {
+			// A checkpoint raced another session's in-flight fill (older
+			// format) — never a committed table.
+			c.Recovery.Skipped[tm.Name] = "uncommitted shadow generation"
+			continue
+		}
+		entries[tm.Name] = true
+		st, err := os.Stat(c.heapPath(tm.Name))
+		switch {
+		case os.IsNotExist(err):
+			badHeap[tm.Name] = "heap file missing"
+		case err != nil:
+			return nil, err
+		case st.Size()%PageSize != 0:
+			badHeap[tm.Name] = "heap file truncated"
+		}
+	}
+
+	// Phase 3 — condemn model/__meta pairs together: both tables of a model
+	// commit in one swap, so registering one half would resurrect exactly
+	// the coefficients-without-metadata (or vice versa) mix the protocol
+	// exists to prevent. An orphan __meta entry with no base entry at all is
+	// condemned too.
+	skip := map[string]string{}
+	for name, reason := range badHeap {
+		skip[name] = reason
+	}
+	for name := range entries {
+		if skip[name] != "" {
+			continue
+		}
+		if base, isMeta := strings.CutSuffix(name, MetaSuffix); isMeta {
+			switch {
+			case !entries[base]:
+				skip[name] = "orphan metadata (no model table entry)"
+			case badHeap[base] != "":
+				skip[name] = "model table " + base + ": " + badHeap[base]
+			}
+		} else if entries[name+MetaSuffix] && badHeap[name+MetaSuffix] != "" {
+			skip[name] = "metadata side table: " + badHeap[name+MetaSuffix]
+		}
+	}
+
+	// Phase 4 — register the survivors; quarantine the heaps of condemned
+	// entries so a later Create of the same name starts empty instead of
+	// silently reopening stale rows.
+	for _, tm := range meta.Tables {
+		if IsShadowName(tm.Name) {
+			continue
+		}
+		if reason, bad := skip[tm.Name]; bad {
+			c.Recovery.Skipped[tm.Name] = reason
+			c.quarantineHeap(tm.Name)
+			continue
+		}
 		schema := make(Schema, 0, len(tm.Columns))
 		for _, cm := range tm.Columns {
 			schema = append(schema, Column{Name: cm.Name, Type: Type(cm.Type)})
 		}
 		if _, err := c.createTrusted(tm.Name, schema); err != nil {
-			return nil, err
+			// The heap exists and is page-aligned but failed the open-time
+			// record scan: intra-heap corruption. Same treatment as a
+			// truncated heap — clean absence, partner condemned below.
+			c.Recovery.Skipped[tm.Name] = fmt.Sprintf("heap unreadable: %v", err)
+			c.quarantineHeap(tm.Name)
+		}
+	}
+	// Late partner closure: an open-time scan failure in phase 4 condemns a
+	// partner that may already be registered. (Snapshot the skip set first —
+	// the loop adds the partners it condemns.)
+	skippedNow := make(map[string]string, len(c.Recovery.Skipped))
+	for name, reason := range c.Recovery.Skipped {
+		skippedNow[name] = reason
+	}
+	for name, reason := range skippedNow {
+		partner := name + MetaSuffix
+		if base, isMeta := strings.CutSuffix(name, MetaSuffix); isMeta {
+			partner = base
+		}
+		if _, ok := c.tables[partner]; ok {
+			c.Recovery.Skipped[partner] = "partner " + name + ": " + reason
+			t := c.tables[partner]
+			delete(c.tables, partner)
+			_ = t.Close()
+			c.quarantineHeap(partner)
+		}
+	}
+
+	c.sweepStrayFiles()
+	c.quarantineUnreferencedHeaps()
+
+	// If recovery consumed a generation marker or changed anything, persist
+	// a clean marker-free checkpoint NOW: a marker left in catalog.json
+	// would, at a later recovery, rename whatever fresh (possibly
+	// half-filled, uncommitted) shadow heap happens to exist over the
+	// committed generation. Recovery must be once, not latent.
+	if hadMarker || !c.Recovery.Clean() {
+		if err := c.SaveMeta(); err != nil {
+			return nil, fmt.Errorf("engine: persisting recovered catalog: %w", err)
 		}
 	}
 	return c, nil
+}
+
+// quarantineUnreferencedHeaps moves aside every *.heap file that no
+// catalog entry references. At open time nothing else is live, so such a
+// file is garbage from a crash window — a heap retired by a swap's
+// dropNames whose os.Remove never ran, or a table created but killed
+// before its first checkpoint (lost either way: its entry never reached
+// catalog.json). Quarantining rather than reopening keeps a later Create
+// of the same name from silently resurrecting stale rows.
+func (c *Catalog) quarantineUnreferencedHeaps() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".heap") {
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), ".heap")
+		if _, ok := c.tables[base]; ok || IsShadowName(base) {
+			continue // registered, or already handled by the shadow sweep
+		}
+		if _, skipped := c.Recovery.Skipped[base]; skipped {
+			continue // condemned entries were quarantined in their own pass
+		}
+		c.quarantineHeap(base)
+	}
+}
+
+// quarantineHeap moves a condemned table's heap file aside (preserving the
+// bytes for forensics without letting anything reopen them as a table).
+func (c *Catalog) quarantineHeap(name string) {
+	hp := c.heapPath(name)
+	if _, err := os.Stat(hp); err != nil {
+		return
+	}
+	if os.Rename(hp, hp+".orphaned") == nil {
+		c.Recovery.Swept = append(c.Recovery.Swept, name+".heap -> "+name+".heap.orphaned")
+	}
+}
+
+// sweepStrayFiles deletes uncommitted shadow heaps and stale checkpoint
+// temp files. By the time it runs, every committed swap has been rolled
+// forward, so any remaining *__shadow.heap is an abandoned fill window.
+func (c *Catalog) sweepStrayFiles() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, ShadowSuffix+".heap") {
+			if os.Remove(filepath.Join(c.dir, n)) == nil {
+				c.Recovery.Swept = append(c.Recovery.Swept, n)
+			}
+		}
+	}
+	os.Remove(filepath.Join(c.dir, catalogFile+".tmp"))
 }

@@ -1,0 +1,640 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The swap tests model the statement layer's persistence shape: a "model"
+// is a coefficient table m plus a metadata side table m__meta that must
+// only ever move between generations as a pair.
+var (
+	coeffSchema = Schema{{Name: "idx", Type: TInt64}, {Name: "value", Type: TFloat64}}
+	metaSchema  = Schema{{Name: "key", Type: TString}, {Name: "value", Type: TString}}
+)
+
+// fillGen writes generation gen's content into a coefficient/meta pair.
+func fillGen(t *testing.T, coeff, meta *Table, gen int) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		coeff.MustInsert(Tuple{I64(int64(i)), F64(float64(gen))})
+	}
+	meta.MustInsert(Tuple{Str("gen"), Str(strconv.Itoa(gen))})
+	if err := coeff.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := meta.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedGen1 builds a committed generation-1 model in dir and returns an
+// open catalog positioned to attempt the generation-2 swap.
+func seedGen1(t *testing.T, dir string) *Catalog {
+	t.Helper()
+	cat := NewFileCatalog(dir, 0)
+	coeff, err := cat.Create("m", coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := cat.Create("m"+MetaSuffix, metaSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGen(t, coeff, meta, 1)
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// reopenModelGen reopens dir and reports which complete generation the
+// model recovered to: 0 = cleanly absent. It fails the test on any torn
+// state — half a model pair registered, an empty resurrected table, or
+// coefficients and metadata from different generations.
+func reopenModelGen(t *testing.T, dir string) int {
+	t.Helper()
+	cat, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer cat.Close()
+	coeff, errC := cat.Get("m")
+	meta, errM := cat.Get("m" + MetaSuffix)
+	if (errC == nil) != (errM == nil) {
+		t.Fatalf("half a model pair registered: coeff err=%v, meta err=%v (recovery: %+v)",
+			errC, errM, cat.Recovery)
+	}
+	if errC != nil {
+		return 0
+	}
+	if coeff.NumRows() == 0 || meta.NumRows() == 0 {
+		t.Fatalf("empty model resurrected: %d coeff rows, %d meta rows",
+			coeff.NumRows(), meta.NumRows())
+	}
+	coeffGen := -1
+	if err := coeff.Scan(func(tp Tuple) error {
+		g := int(tp[1].Float)
+		if coeffGen != -1 && coeffGen != g {
+			t.Fatalf("mixed generations inside coefficient table: %d and %d", coeffGen, g)
+		}
+		coeffGen = g
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	metaGen := -1
+	if err := meta.Scan(func(tp Tuple) error {
+		if tp[0].Str == "gen" {
+			metaGen, _ = strconv.Atoi(tp[1].Str)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if coeffGen != metaGen {
+		t.Fatalf("torn model: coefficients are generation %d, metadata generation %d", coeffGen, metaGen)
+	}
+	return coeffGen
+}
+
+// crash returns a hook that simulates a SIGKILL at its call site.
+func crash(fired *bool) func([]string) error {
+	return func([]string) error {
+		*fired = true
+		return ErrInjectedCrash
+	}
+}
+
+// TestSwapCrashMatrix is the acceptance-criteria harness: a simulated kill
+// at every hook point inside the swap window must reopen to either the
+// intact previous generation or the complete new one — never empty, never
+// a coefficients/metadata mix — with orphan shadow heaps swept.
+func TestSwapCrashMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(h *CatalogHooks, fired *bool)
+		wantGen int
+	}{
+		{"before-shadow-sync", func(h *CatalogHooks, fired *bool) {
+			h.BeforeShadowSync = crash(fired)
+		}, 1},
+		{"after-shadow-sync", func(h *CatalogHooks, fired *bool) {
+			h.AfterShadowSync = crash(fired)
+		}, 1},
+		{"after-commit-rename", func(h *CatalogHooks, fired *bool) {
+			h.AfterCommit = crash(fired)
+		}, 2},
+		{"between-heap-renames", func(h *CatalogHooks, fired *bool) {
+			h.AfterHeapRename = func(final string) error {
+				*fired = true
+				return ErrInjectedCrash // dies after the FIRST rename: m.heap new, m__meta.heap old file still shadow-named
+			}
+		}, 2},
+		{"before-marker-clear", func(h *CatalogHooks, fired *bool) {
+			h.BeforeMarkerClear = crash(fired)
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := testCatalogDir(t)
+			cat := seedGen1(t, dir)
+			shCoeff, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shMeta, err := cat.Create("m"+MetaSuffix+ShadowSuffix, metaSchema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillGen(t, shCoeff, shMeta, 2)
+
+			var fired bool
+			tc.install(&cat.Hooks, &fired)
+			err = cat.Swap(
+				[]string{"m", "m" + MetaSuffix},
+				[]string{"m" + ShadowSuffix, "m" + MetaSuffix + ShadowSuffix},
+				nil)
+			if !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("Swap returned %v, want injected crash", err)
+			}
+			if !fired {
+				t.Fatal("hook never fired")
+			}
+			cat.Abandon() // the process is "dead": close fds without flushing anything
+
+			if got := reopenModelGen(t, dir); got != tc.wantGen {
+				t.Fatalf("recovered to generation %d, want %d", got, tc.wantGen)
+			}
+			// Whatever generation won, no shadow heap may survive recovery.
+			if leaks := findShadowLeaks(dir); len(leaks) > 0 {
+				t.Fatalf("recovery left shadow heaps: %v", leaks)
+			}
+		})
+	}
+}
+
+// TestSwapCrashMidFill: a kill while the shadow pair is still being filled
+// (before Swap is ever called) must be a complete no-op for the previous
+// generation, with the abandoned shadows swept at the next open.
+func TestSwapCrashMidFill(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	shCoeff, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-filled, never flushed — and a checkpoint races the fill, which
+	// must not leak the shadow into catalog.json.
+	shCoeff.MustInsert(Tuple{I64(0), F64(2)})
+	if err := cat.SaveMeta(); err != nil {
+		t.Fatal(err)
+	}
+	cat.Abandon()
+
+	if got := reopenModelGen(t, dir); got != 1 {
+		t.Fatalf("recovered to generation %d, want intact generation 1", got)
+	}
+	if leaks := findShadowLeaks(dir); len(leaks) > 0 {
+		t.Fatalf("abandoned shadow not swept: %v", leaks)
+	}
+}
+
+// TestSwapFirstGeneration: publishing a model that never existed before
+// works through the same protocol (no old tables to retire).
+func TestSwapFirstGeneration(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := NewFileCatalog(dir, 0)
+	shCoeff, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shMeta, err := cat.Create("m"+MetaSuffix+ShadowSuffix, metaSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGen(t, shCoeff, shMeta, 1)
+	if err := cat.Swap(
+		[]string{"m", "m" + MetaSuffix},
+		[]string{"m" + ShadowSuffix, "m" + MetaSuffix + ShadowSuffix},
+		nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reopenModelGen(t, dir); got != 1 {
+		t.Fatalf("generation %d, want 1", got)
+	}
+}
+
+// TestSwapDropsRetiredNames: the dropNames argument retires a table at the
+// same commit (PREDICT INTO over an old model name drops the model's
+// __meta side table atomically with the overwrite).
+func TestSwapDropsRetiredNames(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	sh, err := cat.Create("m"+ShadowSuffix, Schema{{Name: "id", Type: TInt64}, {Name: "score", Type: TFloat64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.MustInsert(Tuple{I64(0), F64(0.5)})
+	if err := sh.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Swap([]string{"m"}, []string{"m" + ShadowSuffix}, []string{"m" + MetaSuffix}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Get("m" + MetaSuffix); err == nil {
+		t.Fatal("retired __meta still registered")
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get("m" + MetaSuffix); err == nil {
+		t.Fatal("retired __meta resurrected on reopen")
+	}
+	tbl, err := re.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 || len(tbl.Schema) != 2 || tbl.Schema[1].Name != "score" {
+		t.Fatalf("swapped table wrong: rows=%d schema=%+v", tbl.NumRows(), tbl.Schema)
+	}
+}
+
+// TestSwapMemCatalog: the same primitive on an in-memory catalog (the
+// single-session test configuration) — pure entry retargeting.
+func TestSwapMemCatalog(t *testing.T) {
+	cat := NewCatalog()
+	old, err := cat.Create("m", coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.MustInsert(Tuple{I64(0), F64(1)})
+	sh, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.MustInsert(Tuple{I64(0), F64(2)})
+	if err := cat.Swap([]string{"m"}, []string{"m" + ShadowSuffix}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cat.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "m" {
+		t.Fatalf("swapped table kept name %q", got.Name)
+	}
+	var v float64
+	got.Scan(func(tp Tuple) error { v = tp[1].Float; return nil })
+	if v != 2 {
+		t.Fatalf("swapped table serves value %v, want generation 2", v)
+	}
+	if _, err := cat.Get("m" + ShadowSuffix); err == nil {
+		t.Fatal("shadow entry survived the swap")
+	}
+	for _, n := range cat.Names() {
+		if IsShadowName(n) {
+			t.Fatalf("shadow name listed: %v", cat.Names())
+		}
+	}
+}
+
+// TestRecoveryClearsStaleMarkers: recovery must persist a marker-free
+// catalog.json once it has consumed a generation marker. A latent marker
+// would, at a LATER recovery, rename whatever fresh uncommitted shadow
+// heap exists at that moment over the committed generation — turning two
+// unrelated crashes into a corruption.
+func TestRecoveryClearsStaleMarkers(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	shCoeff, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shMeta, err := cat.Create("m"+MetaSuffix+ShadowSuffix, metaSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGen(t, shCoeff, shMeta, 2)
+	cat.Hooks.BeforeMarkerClear = func([]string) error { return ErrInjectedCrash }
+	if err := cat.Swap(
+		[]string{"m", "m" + MetaSuffix},
+		[]string{"m" + ShadowSuffix, "m" + MetaSuffix + ShadowSuffix},
+		nil); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("Swap: %v", err)
+	}
+	cat.Abandon()
+
+	// Crash #1 recovery: generation 2, and the markers must be gone from
+	// the persisted checkpoint.
+	if got := reopenModelGen(t, dir); got != 2 {
+		t.Fatalf("generation %d after first recovery, want 2", got)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "pending_from") {
+		t.Fatalf("recovery left a latent generation marker:\n%s", b)
+	}
+
+	// Crash #2: a retrain dies mid-fill, leaving a garbage shadow heap. A
+	// latent marker would rename it over the committed generation; the
+	// cleared checkpoint must instead sweep it.
+	garbage := bytes.Repeat([]byte{0xFF}, PageSize)
+	if err := os.WriteFile(filepath.Join(dir, "m"+ShadowSuffix+".heap"), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := reopenModelGen(t, dir); got != 2 {
+		t.Fatalf("generation %d after second recovery, want the committed 2", got)
+	}
+}
+
+// TestPendingMarkerSurvivesLaterCheckpoints: a live process that survives
+// a post-commit Swap failure still owes the heap renames; checkpoints
+// written after the failure must re-emit the generation markers so a
+// restart completes the roll-forward instead of sweeping the committed
+// shadow heaps as orphans.
+func TestPendingMarkerSurvivesLaterCheckpoints(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	shCoeff, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shMeta, err := cat.Create("m"+MetaSuffix+ShadowSuffix, metaSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillGen(t, shCoeff, shMeta, 2)
+	cat.Hooks.AfterCommit = func([]string) error { return ErrInjectedCrash }
+	if err := cat.Swap(
+		[]string{"m", "m" + MetaSuffix},
+		[]string{"m" + ShadowSuffix, "m" + MetaSuffix + ShadowSuffix},
+		nil); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("Swap: %v", err)
+	}
+	// The "process" survives and some other statement checkpoints. Without
+	// the pending map this snapshot would erase the markers while the heap
+	// files still sit under their shadow names.
+	if err := cat.SaveMeta(); err != nil {
+		t.Fatal(err)
+	}
+	cat.Abandon()
+	if got := reopenModelGen(t, dir); got != 2 {
+		t.Fatalf("generation %d, want committed 2 rolled forward", got)
+	}
+}
+
+// TestRecoveryQuarantinesUnreferencedHeaps: a heap file no catalog entry
+// references (a swap-retired table whose os.Remove never ran, or a table
+// killed before its first checkpoint) is moved aside at open so a later
+// Create of the name starts empty instead of resurrecting stale rows.
+func TestRecoveryQuarantinesUnreferencedHeaps(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "retired.heap")
+	if err := os.WriteFile(stale, bytes.Repeat([]byte{0xAB}, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get("retired"); err == nil {
+		t.Fatal("unreferenced heap registered as a table")
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("unreferenced heap still in place: %v", err)
+	}
+	if _, err := os.Stat(stale + ".orphaned"); err != nil {
+		t.Fatalf("unreferenced heap not quarantined: %v", err)
+	}
+	// The model itself is untouched.
+	if got := reopenModelGen(t, dir); got != 1 {
+		t.Fatalf("generation %d, want 1", got)
+	}
+}
+
+// TestRecoveryNeverResurrectsEmptyModel reproduces DESIGN.md §6's pre-fix
+// data-loss shape: catalog.json lists a model whose heap files are gone
+// (the old drop-then-recreate path's window between replaceTable's drop
+// and the crash). The old OpenFileCatalog recreated both names as EMPTY
+// tables — the silent resurrection. The fixed sweep must register neither
+// and report why.
+func TestRecoveryNeverResurrectsEmptyModel(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := seedGen1(t, dir)
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"m.heap", "m" + MetaSuffix + ".heap"} {
+		if err := os.Remove(filepath.Join(dir, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Recovery.Skipped) != 2 {
+		t.Fatalf("recovery report: %+v", re.Recovery)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reopenModelGen(t, dir); got != 0 {
+		t.Fatalf("recovered generation %d from deleted heaps, want clean absence", got)
+	}
+	// Recovery is once, not latent: having dropped the dead entries from
+	// catalog.json, a further reopen finds nothing to repair.
+	re2, err := OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if !re2.Recovery.Clean() {
+		t.Fatalf("second recovery not clean: %+v", re2.Recovery)
+	}
+}
+
+// TestRecoveryCondemnsPairTogether: one bad half (missing or truncated)
+// condemns the model/__meta pair — the reopened catalog must never pair
+// surviving coefficients with missing metadata or vice versa. The intact
+// half's heap is quarantined, not reopened.
+func TestRecoveryCondemnsPairTogether(t *testing.T) {
+	t.Run("coefficients-missing", func(t *testing.T) {
+		dir := testCatalogDir(t)
+		cat := seedGen1(t, dir)
+		if err := cat.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, "m.heap")); err != nil {
+			t.Fatal(err)
+		}
+		if got := reopenModelGen(t, dir); got != 0 {
+			t.Fatalf("got generation %d, want clean absence", got)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "m"+MetaSuffix+".heap.orphaned")); err != nil {
+			t.Fatalf("intact half not quarantined: %v", err)
+		}
+	})
+	t.Run("metadata-truncated", func(t *testing.T) {
+		dir := testCatalogDir(t)
+		cat := seedGen1(t, dir)
+		if err := cat.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mp := filepath.Join(dir, "m"+MetaSuffix+".heap")
+		f, err := os.OpenFile(mp, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("torn")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if got := reopenModelGen(t, dir); got != 0 {
+			t.Fatalf("got generation %d, want clean absence", got)
+		}
+	})
+}
+
+// TestSwapCaseCollisionBackstop: a final name colliding case-insensitively
+// with a different existing table fails before the commit — the engine
+// backstop behind the statement layer's best-effort pre-check.
+func TestSwapCaseCollisionBackstop(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := NewFileCatalog(dir, 0)
+	defer cat.Close()
+	if _, err := cat.Create("forest", coeffSchema); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cat.Create("Forest"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.MustInsert(Tuple{I64(0), F64(1)})
+	err = cat.Swap([]string{"Forest"}, []string{"Forest" + ShadowSuffix}, nil)
+	if err == nil {
+		t.Fatal("case-colliding swap committed")
+	}
+	if err := cat.Drop("Forest" + ShadowSuffix); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiscardShadows: the daemon-shutdown sweep drops registered shadows
+// and their heaps.
+func TestDiscardShadows(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := NewFileCatalog(dir, 0)
+	defer cat.Close()
+	if _, err := cat.Create("keep", coeffSchema); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cat.Create("m"+ShadowSuffix, coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.MustInsert(Tuple{I64(0), F64(1)})
+	if err := cat.DiscardShadows(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Get("m" + ShadowSuffix); err == nil {
+		t.Fatal("shadow survived DiscardShadows")
+	}
+	if _, err := cat.Get("keep"); err != nil {
+		t.Fatal("DiscardShadows dropped a real table")
+	}
+	if leaks := findShadowLeaks(dir); len(leaks) > 0 {
+		t.Fatalf("shadow heaps survived: %v", leaks)
+	}
+}
+
+// TestDropForceCloses pins the satellite fix: Drop always removes the
+// entry and the heap file, and reports (not swallows) every failure — a
+// second Drop of the same name is "no table", never a retry on a zombie
+// handle.
+func TestDropForceCloses(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat := NewFileCatalog(dir, 0)
+	defer cat.Close()
+	tbl, err := cat.Create("d", coeffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(Tuple{I64(0), F64(1)})
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Close the heap out from under the catalog so Drop's internal Close
+	// fails; the drop must still retire the entry and delete the file.
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Drop("d"); err == nil {
+		t.Fatal("Drop swallowed the double-close failure")
+	}
+	if _, err := cat.Get("d"); err == nil {
+		t.Fatal("entry survived a failed Drop — unreachable zombie handle")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d.heap")); !os.IsNotExist(err) {
+		t.Fatalf("heap file survived a failed Drop: %v", err)
+	}
+}
+
+// TestCopyToTypeMismatch pins the satellite fix: copying between
+// same-arity tables with different column types fails up front with a
+// typed *SchemaMismatchError instead of writing records that decode later
+// as *CorruptRecordError.
+func TestCopyToTypeMismatch(t *testing.T) {
+	src := NewMemTable("src", Schema{{Name: "a", Type: TInt64}, {Name: "b", Type: TFloat64}})
+	src.MustInsert(Tuple{I64(1), F64(2)})
+
+	dst := NewMemTable("dst", Schema{{Name: "a", Type: TInt64}, {Name: "b", Type: TString}})
+	err := src.CopyTo(dst)
+	var sme *SchemaMismatchError
+	if !errors.As(err, &sme) {
+		t.Fatalf("CopyTo returned %v, want *SchemaMismatchError", err)
+	}
+	if sme.Col != 1 || sme.SrcType != TFloat64 || sme.DstType != TString {
+		t.Fatalf("mismatch details wrong: %+v", sme)
+	}
+	if dst.NumRows() != 0 {
+		t.Fatalf("mis-typed rows written: %d", dst.NumRows())
+	}
+
+	// Arity mismatches keep failing too, with Col = -1.
+	narrow := NewMemTable("narrow", Schema{{Name: "a", Type: TInt64}})
+	err = src.CopyTo(narrow)
+	if !errors.As(err, &sme) || sme.Col != -1 {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+
+	// Renamed columns with identical physical types stay legal.
+	renamed := NewMemTable("renamed", Schema{{Name: "x", Type: TInt64}, {Name: "y", Type: TFloat64}})
+	if err := src.CopyTo(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if renamed.NumRows() != 1 {
+		t.Fatalf("rows = %d", renamed.NumRows())
+	}
+}

@@ -12,6 +12,24 @@ import (
 	"sync/atomic"
 )
 
+// Storage-level name conventions. The engine owns them because they are
+// what the recovery sweep and the swap protocol key on; the statement
+// layer aliases them for its own reservations and lock keys.
+const (
+	// MetaSuffix marks a model's metadata side table ("<model>__meta").
+	// A model and its side table commit and recover as one unit.
+	MetaSuffix = "__meta"
+	// ShadowSuffix marks an in-flight table generation being built for a
+	// Catalog.Swap ("<name>__shadow" heaps). Shadow names are reserved:
+	// they never appear in Names() or catalog.json checkpoints, and any
+	// shadow heap found on disk at OpenFileCatalog is an uncommitted
+	// generation and is swept.
+	ShadowSuffix = "__shadow"
+)
+
+// IsShadowName reports whether a table name is a reserved shadow name.
+func IsShadowName(name string) bool { return strings.HasSuffix(name, ShadowSuffix) }
+
 // Table is a named, typed heap of tuples, with a versioned decoded-row
 // cache over it. The version counter is bumped by every physical mutation
 // (Insert, Shuffle, ClusterBy, CopyTo-into) so cached materializations can
@@ -71,6 +89,10 @@ func (t *Table) NumPages() int { return t.heap.NumPages() }
 
 // Flush seals the in-memory tail page (required before parallel scans).
 func (t *Table) Flush() error { return t.heap.Flush() }
+
+// Sync flushes and fsyncs the backing heap — the durability step of the
+// shadow-swap protocol (no-op persistence-wise for in-memory tables).
+func (t *Table) Sync() error { return t.heap.Sync() }
 
 // Scan visits every tuple in storage order. Each tuple is freshly
 // allocated, so callers may retain them; bulk read paths that do not retain
@@ -331,10 +353,42 @@ func (t *Table) ClusterBy(key func(Tuple) float64) error {
 	return nil
 }
 
-// CopyTo appends every row of t into dst (schemas must match).
+// SchemaMismatchError reports an attempted raw-record copy between tables
+// whose physical schemas differ. Col is the first mismatched column index,
+// or -1 when the arities differ.
+type SchemaMismatchError struct {
+	Src, Dst           string
+	Col                int
+	SrcArity, DstArity int
+	SrcType, DstType   Type
+}
+
+// Error implements error.
+func (e *SchemaMismatchError) Error() string {
+	if e.Col < 0 {
+		return fmt.Sprintf("engine: schema mismatch copying %s into %s: %d columns vs %d",
+			e.Src, e.Dst, e.SrcArity, e.DstArity)
+	}
+	return fmt.Sprintf("engine: schema mismatch copying %s into %s: column %d is type %d vs %d",
+		e.Src, e.Dst, e.Col, e.SrcType, e.DstType)
+}
+
+// CopyTo appends every row of t into dst. It copies raw encoded records, so
+// the schemas must match in arity AND column type — same-arity tables with
+// different types would otherwise accept mis-typed records that only
+// surface later as a *CorruptRecordError on decode. Column names may
+// differ; only the physical layout matters.
 func (t *Table) CopyTo(dst *Table) error {
 	if len(t.Schema) != len(dst.Schema) {
-		return fmt.Errorf("engine: CopyTo schema arity mismatch")
+		return &SchemaMismatchError{Src: t.Name, Dst: dst.Name, Col: -1,
+			SrcArity: len(t.Schema), DstArity: len(dst.Schema)}
+	}
+	for i := range t.Schema {
+		if t.Schema[i].Type != dst.Schema[i].Type {
+			return &SchemaMismatchError{Src: t.Name, Dst: dst.Name, Col: i,
+				SrcArity: len(t.Schema), DstArity: len(dst.Schema),
+				SrcType: t.Schema[i].Type, DstType: dst.Schema[i].Type}
+		}
 	}
 	err := t.heap.Scan(func(rec []byte) error {
 		return dst.heap.Append(append([]byte(nil), rec...))
@@ -349,20 +403,35 @@ func (t *Table) Close() error { return t.heap.Close() }
 // Catalog is a registry of tables, optionally file-backed under a directory.
 type Catalog struct {
 	mu        sync.Mutex
-	saveMu    sync.Mutex // serializes Save/SaveMeta disk writes, outside mu
+	saveMu    sync.Mutex // serializes Save/SaveMeta/Swap disk writes, outside mu
 	dir       string     // empty = in-memory tables
 	poolPages int
 	tables    map[string]*Table
+	// pending (guarded by mu) maps a final table name to the shadow heap
+	// name its committed-but-unrenamed swap data still lives in. Entries
+	// are added at a swap's commit point and removed as each heap rename
+	// lands, so every checkpoint between the two re-emits the generation
+	// marker — a live process surviving a post-commit rename failure can
+	// never write a catalog.json that forgets the roll-forward is owed.
+	pending map[string]string
+
+	// Hooks instruments the swap protocol's crash windows for
+	// fault-injection tests. Zero value: no instrumentation.
+	Hooks CatalogHooks
+
+	// Recovery records what OpenFileCatalog's recovery sweep found and did.
+	Recovery RecoveryReport
 }
 
 // NewCatalog returns an in-memory catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), pending: make(map[string]string)}
 }
 
 // NewFileCatalog returns a catalog whose tables are file-backed under dir.
 func NewFileCatalog(dir string, poolPages int) *Catalog {
-	return &Catalog{dir: dir, poolPages: poolPages, tables: make(map[string]*Table)}
+	return &Catalog{dir: dir, poolPages: poolPages,
+		tables: make(map[string]*Table), pending: make(map[string]string)}
 }
 
 // ValidTableName rejects names that could escape the catalog directory
@@ -476,7 +545,11 @@ func (c *Catalog) Get(name string) (*Table, error) {
 
 // Drop removes and closes a table, deleting its backing heap file — a
 // dropped-then-recreated table must come back empty, not reopen its old
-// rows from disk.
+// rows from disk. The drop is a force-close: the entry leaves the catalog
+// and the heap file is removed even when Close fails (the alternative —
+// keeping the entry — would leave a table the caller can neither use nor
+// retry dropping, since the close already tore down the handle). Every
+// failure is reported; a Close error no longer swallows a Remove error.
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -485,22 +558,33 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("engine: no table %q", name)
 	}
 	delete(c.tables, name)
-	err := t.Close()
+	delete(c.pending, name)
+	closeErr := t.Close()
+	var rmErr error
 	if c.dir != "" {
-		if rmErr := os.Remove(filepath.Join(c.dir, name+".heap")); rmErr != nil &&
-			!os.IsNotExist(rmErr) && err == nil {
-			err = rmErr
+		if rmErr = os.Remove(c.heapPath(name)); os.IsNotExist(rmErr) {
+			rmErr = nil
 		}
 	}
-	return err
+	return errors.Join(closeErr, rmErr)
 }
 
-// Names returns the sorted table names.
+// heapPath returns the heap file backing a table name (file catalogs).
+func (c *Catalog) heapPath(name string) string {
+	return filepath.Join(c.dir, name+".heap")
+}
+
+// Names returns the sorted table names. Reserved shadow names (in-flight
+// generations mid-Swap) are internal and excluded: a shadow is not a table
+// until its swap commits.
 func (c *Catalog) Names() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
+		if IsShadowName(n) {
+			continue
+		}
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bismarck/internal/engine"
+)
+
+// TestKillMidAsyncRetrainRecovers is the server half of the crash-recovery
+// acceptance test, run under -race in CI: 8 TCP clients hammer a
+// file-backed daemon with ASYNC retrains of one shared model plus disjoint
+// per-client models while predicting against the shared one; partway
+// through, an engine fault-injection hook "SIGKILLs" one shared-model swap
+// right after its commit point. The affected job fails over the wire (its
+// client tolerates exactly that error), every other job commits, and after
+// abandoning the catalog un-flushed — a hard kill, no shutdown save — the
+// reopened directory must hold every model as a complete
+// coefficients+metadata generation, with all shadow heaps swept.
+func TestKillMidAsyncRetrainRecovers(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(cat, Options{Workers: 4})
+	seedPapers(t, m, 200)
+
+	// Crash the 3rd commit of the shared model's swap window. Exactly one
+	// job dies; the daemon (unlike a real SIGKILL victim) keeps serving,
+	// which is fine — what the test kills for real is the catalog, below.
+	var sharedCommits atomic.Int32
+	cat.Hooks.AfterCommit = func(finals []string) error {
+		for _, f := range finals {
+			if f == "shared" && sharedCommits.Add(1) == 3 {
+				return engine.ErrInjectedCrash
+			}
+		}
+		return nil
+	}
+
+	addr := startTCP(t, m)
+	boot, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boot.Exec("SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1 INTO shared"); err != nil {
+		t.Fatal(err)
+	}
+	boot.Close()
+
+	const clients = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*rounds*4)
+	var injected atomic.Int32
+
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", ci, err)
+				return
+			}
+			defer c.Close()
+			own := fmt.Sprintf("own_%d", ci)
+			var waits []string
+			submit := func(stmt string) {
+				body, err := c.Exec(stmt)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %s: %w", ci, stmt, err)
+					return
+				}
+				if match := jobIDRe.FindStringSubmatch(body); match != nil {
+					waits = append(waits, match[1])
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				submit(fmt.Sprintf(
+					"SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=%d INTO %s ASYNC",
+					ci*10+r, own))
+				if ci%2 == 0 {
+					submit(fmt.Sprintf(
+						"SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=%d INTO shared ASYNC",
+						100+ci*10+r))
+				}
+				if body, err := c.Exec("SELECT * FROM papers TO PREDICT USING shared"); err != nil {
+					errs <- fmt.Errorf("client %d predict: %w", ci, err)
+					return
+				} else if !strings.Contains(body, "predicted 200 rows") {
+					errs <- fmt.Errorf("client %d: torn predict: %q", ci, body)
+					return
+				}
+			}
+			for _, id := range waits {
+				if _, err := c.Exec("WAIT JOB " + id); err != nil {
+					// The one injected kill surfaces as a failed job; that
+					// exact failure is expected exactly once.
+					if strings.Contains(err.Error(), "injected crash") {
+						injected.Add(1)
+						continue
+					}
+					errs <- fmt.Errorf("client %d wait %s: %w", ci, id, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if got := injected.Load(); got != 1 {
+		t.Fatalf("injected crash surfaced %d times, want exactly 1", got)
+	}
+
+	m.Drain()
+	cat.Abandon() // hard kill: no shutdown save, tail pages lost, fds dropped
+
+	// Restart. Every model must recover as a complete generation.
+	re, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if leaks := findShadowLeaks(dir); len(leaks) > 0 {
+		t.Fatalf("recovery left shadow heaps: %v", leaks)
+	}
+	m2 := NewManager(re, Options{Workers: 1})
+	defer m2.Drain()
+	var out strings.Builder
+	s := m2.NewSession(&out)
+	models := []string{"shared"}
+	for ci := 0; ci < clients; ci++ {
+		models = append(models, fmt.Sprintf("own_%d", ci))
+	}
+	for _, model := range models {
+		if w := readModel(t, re, model); len(w) == 0 {
+			t.Errorf("model %q recovered empty", model)
+		}
+		if _, err := re.Get(model + engine.MetaSuffix); err != nil {
+			t.Errorf("model %q recovered without metadata: %v", model, err)
+		}
+		out.Reset()
+		if err := s.Exec(fmt.Sprintf("SELECT * FROM papers TO PREDICT USING %s", model)); err != nil {
+			t.Errorf("recovered model %q does not score: %v", model, err)
+		}
+	}
+}
+
+// TestDrainDiscardShadowsKeepsCatalogServable: an injected crash leaves
+// shadow tables registered in the live catalog (the dead save's cleanup
+// never ran); the daemon shutdown path must discard them so the final
+// Save writes a servable catalog, not one whose next open needs a sweep.
+func TestDrainDiscardShadows(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(cat, Options{Workers: 1})
+	seedPapers(t, m, 100)
+	var out strings.Builder
+	s := m.NewSession(&out)
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1 INTO m;`)
+
+	crash := errors.New("fill never finished")
+	cat.Hooks.BeforeShadowSync = func([]string) error { return engine.ErrInjectedCrash }
+	if err := s.Exec(`SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=2 INTO m;`); err == nil {
+		t.Fatal(crash)
+	}
+	cat.Hooks.BeforeShadowSync = nil
+
+	// The daemon's teardown order: drain, discard shadows, save, close.
+	m.Drain()
+	if err := cat.DiscardShadows(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Recovery.Clean() {
+		t.Fatalf("clean shutdown still needed recovery: %+v", re.Recovery)
+	}
+	if w := readModel(t, re, "m"); len(w) == 0 {
+		t.Fatal("model lost across shutdown")
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bismarck/internal/engine"
+)
+
+// testRoot is the scratch root TestMain owns; file-catalog tests get their
+// directories from testCatalogDir so the shadow-leak sweep sees them.
+var testRoot string
+
+// TestMain fails the package if any test leaked an in-flight
+// *__shadow*.heap file — same contract as the engine and sqlish sweeps.
+func TestMain(m *testing.M) {
+	var err error
+	testRoot, err = os.MkdirTemp("", "bismarck-server-test-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server tests: %v\n", err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	if leaks := findShadowLeaks(testRoot); len(leaks) > 0 {
+		fmt.Fprintf(os.Stderr, "server tests leaked in-flight shadow heaps:\n")
+		for _, l := range leaks {
+			fmt.Fprintf(os.Stderr, "  %s\n", l)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.RemoveAll(testRoot)
+	os.Exit(code)
+}
+
+func findShadowLeaks(root string) []string {
+	var leaks []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.Contains(d.Name(), engine.ShadowSuffix) && strings.HasSuffix(d.Name(), ".heap") {
+			leaks = append(leaks, path)
+		}
+		return nil
+	})
+	return leaks
+}
+
+// testCatalogDir returns a fresh catalog directory under the swept root.
+func testCatalogDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp(testRoot, strings.ReplaceAll(t.Name(), "/", "_")+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if leaks := findShadowLeaks(dir); len(leaks) > 0 {
+			t.Errorf("test leaked in-flight shadow heaps: %v", leaks)
+		}
+		os.RemoveAll(dir)
+	})
+	return dir
+}

@@ -100,14 +100,15 @@ func (m *Manager) newSQLSession(out io.Writer) *sqlish.Session {
 // Call before saving/closing the catalog at shutdown.
 func (m *Manager) Drain() { m.sched.drain() }
 
-// persistMeta checkpoints catalog.json after a committed mutation: the
-// statement itself flushed the heaps it filled, but a table missing from
-// catalog.json would not be reopened on restart. This makes an
-// acknowledged model survive an ungraceful daemon death in the common
-// case; the save window itself is not crash-atomic — a kill landing
-// inside a retrain's replace-and-fill can still lose the generation being
-// replaced (DESIGN.md §6 notes shadow-table swaps as the follow-up that
-// would close this). No-op on in-memory catalogs.
+// persistMeta checkpoints catalog.json after a committed statement. It
+// runs strictly after the statement's swap commit: the shadow-generation
+// protocol (engine.Catalog.Swap, DESIGN.md §6) already made the model
+// itself durable at its own atomic commit point, so this checkpoint only
+// exists to pick up anything else the statement changed — ordering it
+// after the swap rename means it can never publish a pre-commit view over
+// a committed one. A kill anywhere in the save window now recovers to
+// either the intact previous generation or the complete new one, never an
+// empty resurrection. No-op on in-memory catalogs.
 func (m *Manager) persistMeta() error {
 	if !m.cat.FileBacked() {
 		return nil

@@ -22,13 +22,22 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"bismarck/internal/engine"
 )
 
 // MetaSuffix marks a model's metadata side table ("<model>__meta"). The
 // parser reserves names ending in it and the session layer derives side
-// table names and lock keys from it; sharing one constant keeps the
-// reservation and the aliasing-prevention logic in lockstep.
-const MetaSuffix = "__meta"
+// table names and lock keys from it; the constant itself lives in the
+// engine (which pairs the tables during crash recovery) — sharing it keeps
+// the reservation, the lock aliasing, and the recovery pairing in
+// lockstep. ShadowSuffix is the engine's reserved in-flight generation
+// suffix, reserved here for the same reason: a user table named like a
+// shadow would collide with the crash-atomic save protocol's work files.
+const (
+	MetaSuffix   = engine.MetaSuffix
+	ShadowSuffix = engine.ShadowSuffix
+)
 
 // Kind discriminates the statement forms of the grammar.
 type Kind int

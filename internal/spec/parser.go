@@ -406,6 +406,13 @@ func ValidateNames(st *Statement) error {
 		if strings.HasSuffix(name, MetaSuffix) {
 			return fmt.Errorf("spec: name %q is reserved for model metadata (pick a name not ending in %s)", name, MetaSuffix)
 		}
+		// "__shadow" anywhere in a name is reserved for the crash-atomic
+		// save protocol's in-flight generations: INTO m__shadow would
+		// collide with the shadow heap a retrain of m builds, and the
+		// recovery sweep deletes *__shadow.heap files at startup.
+		if strings.Contains(name, ShadowSuffix) {
+			return fmt.Errorf("spec: name %q is reserved for in-flight table generations (pick a name without %s)", name, ShadowSuffix)
+		}
 		// Destination names become heap file names; reject path tricks and
 		// over-long names up front so a long TRAIN cannot run to completion
 		// (or occupy an async worker) only to fail at save time. The
@@ -416,6 +423,12 @@ func ValidateNames(st *Statement) error {
 		if err := engine.ValidTableName(name + MetaSuffix); err != nil {
 			return err
 		}
+	}
+	// Shadow generations are not readable tables either: a FROM scan of one
+	// would race the save that is filling it (they are hidden from SHOW
+	// TABLES and may vanish at any commit).
+	if st.From != "" && strings.Contains(st.From, ShadowSuffix) {
+		return fmt.Errorf("spec: cannot read %q — %s names are reserved in-flight table generations", st.From, ShadowSuffix)
 	}
 	// INTO naming the FROM source (or, for PREDICT, the USING model) would
 	// drop that table to make room for the result — silent data loss.

@@ -412,6 +412,31 @@ func TestReservedMetaNamesRejected(t *testing.T) {
 	}
 }
 
+// TestReservedShadowNamesRejected: "__shadow" anywhere in a user name is
+// reserved for the crash-atomic save protocol's in-flight generations —
+// INTO m__shadow would collide with the shadow heap a retrain of m
+// builds, and the recovery sweep deletes *__shadow.heap at startup. Even
+// reading one is rejected: a shadow is not a table until its swap commits.
+func TestReservedShadowNamesRejected(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT * FROM t TO TRAIN lr INTO m__shadow;",
+		"SELECT * FROM t TO TRAIN lr INTO 'm__shadow_2';",
+		"SELECT * FROM t TO PREDICT INTO out__shadow USING m;",
+		"SELECT * FROM t TO PREDICT USING m__shadow;",
+		"SELECT * FROM m__shadow TO PREDICT USING m;",
+		"SELECT SVMTrain('m__shadow', 't', 'vec', 'label');",
+	} {
+		if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "reserved") {
+			t.Errorf("Parse(%q): %v (want reserved-name error)", bad, err)
+		}
+	}
+	// Names that merely contain "shadow" without the reserved marker stay
+	// legal.
+	if _, err := Parse("SELECT * FROM t TO TRAIN lr INTO shadow_prices;"); err != nil {
+		t.Errorf("INTO shadow_prices should parse: %v", err)
+	}
+}
+
 // TestPathTraversalNamesRejectedAtParse: destination names become heap
 // file names; path tricks must fail at parse time, not after a full
 // training run (or inside an async worker).

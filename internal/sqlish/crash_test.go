@@ -1,0 +1,231 @@
+package sqlish
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+)
+
+// snapshotModel reads the persisted coefficient table into a map.
+func snapshotModel(t *testing.T, s *Session, name string) map[int64]float64 {
+	t.Helper()
+	tbl, err := s.Cat.Get(name)
+	if err != nil {
+		t.Fatalf("model %q: %v", name, err)
+	}
+	got := map[int64]float64{}
+	if err := tbl.Scan(func(tp engine.Tuple) error {
+		got[tp[0].Int] = tp[1].Float
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatalf("model %q is empty", name)
+	}
+	return got
+}
+
+func sameModel(a, b map[int64]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMetaFillFailureKeepsOldGeneration is the satellite regression test
+// for the pre-shadow partial-failure bug: the old path had already
+// replaced the coefficient table when the __meta fill failed, leaving new
+// coefficients paired with no metadata. Under the shadow protocol the two
+// tables commit together or not at all: a meta-fill failure must leave the
+// ENTIRE previous generation loading and scoring.
+func TestMetaFillFailureKeepsOldGeneration(t *testing.T) {
+	s, out := declSession(t)
+	copyInto(t, s, "papers", data.Forest(120, 5))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=3, seed=1 INTO m;`)
+	gen1 := snapshotModel(t, s, "m")
+
+	boom := errors.New("injected meta-fill failure")
+	metaFillFault = func(model string) error {
+		if model != "m" {
+			t.Fatalf("fault hook got model %q", model)
+		}
+		return boom
+	}
+	defer func() { metaFillFault = nil }()
+	err := s.Exec(`SELECT vec, label FROM papers TO TRAIN lr WITH epochs=9, seed=2 INTO m;`)
+	if !errors.Is(err, boom) {
+		t.Fatalf("retrain: %v", err)
+	}
+	metaFillFault = nil
+
+	// The coefficient table still holds generation 1 — not the new epochs=9
+	// coefficients the old path would have left behind.
+	if !sameModel(gen1, snapshotModel(t, s, "m")) {
+		t.Fatal("failed save replaced the coefficient table")
+	}
+	// And the pair still loads as a unit: restore-and-score works.
+	out.Reset()
+	mustExec(t, s, `SELECT * FROM papers TO PREDICT USING m;`)
+	if !strings.Contains(out.String(), "predicted 120 rows") {
+		t.Fatalf("old generation does not score: %s", out.String())
+	}
+	// No shadow debris registered.
+	for _, n := range s.Cat.Names() {
+		if strings.Contains(n, engine.ShadowSuffix) {
+			t.Fatalf("shadow table leaked into catalog: %v", s.Cat.Names())
+		}
+	}
+}
+
+// trainStmt are two distinguishable generations for the crash matrix: the
+// recovered model's task name tells which generation survived.
+const (
+	gen1Train = `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1 INTO m;`
+	gen2Train = `SELECT vec, label FROM papers TO TRAIN svm WITH epochs=2, seed=2 INTO m;`
+)
+
+// openSession opens a file catalog and a session over it.
+func openSession(t *testing.T, dir string) *Session {
+	t.Helper()
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Session{Cat: cat, Out: &bytes.Buffer{}}
+}
+
+// TestSaveWindowCrashMatrix drives the FULL statement path (TRAIN → IGD →
+// saveModel → Swap) into a simulated kill at every hook point of the save
+// window, then reopens the catalog like a restarted daemon and asserts the
+// acceptance invariant: the model is either the complete old generation or
+// the complete new one — coefficients and __meta consistent, never empty,
+// never mixed — and recovery swept every shadow heap.
+func TestSaveWindowCrashMatrix(t *testing.T) {
+	cases := []struct {
+		name     string
+		install  func(h *engine.CatalogHooks)
+		wantTask string // which generation must be serving after recovery
+	}{
+		{"before-shadow-sync", func(h *engine.CatalogHooks) {
+			h.BeforeShadowSync = func([]string) error { return engine.ErrInjectedCrash }
+		}, "lr"},
+		{"after-shadow-sync", func(h *engine.CatalogHooks) {
+			h.AfterShadowSync = func([]string) error { return engine.ErrInjectedCrash }
+		}, "lr"},
+		{"after-commit-rename", func(h *engine.CatalogHooks) {
+			h.AfterCommit = func([]string) error { return engine.ErrInjectedCrash }
+		}, "svm"},
+		{"between-heap-renames", func(h *engine.CatalogHooks) {
+			h.AfterHeapRename = func(string) error { return engine.ErrInjectedCrash }
+		}, "svm"},
+		{"before-marker-clear", func(h *engine.CatalogHooks) {
+			h.BeforeMarkerClear = func([]string) error { return engine.ErrInjectedCrash }
+		}, "svm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := testCatalogDir(t)
+			s := openSession(t, dir)
+			copyInto(t, s, "papers", data.Forest(120, 5))
+			mustExec(t, s, gen1Train)
+			if err := s.Cat.Save(); err != nil {
+				t.Fatal(err)
+			}
+
+			tc.install(&s.Cat.Hooks)
+			if err := s.Exec(gen2Train); !errors.Is(err, engine.ErrInjectedCrash) {
+				t.Fatalf("retrain under injected crash: %v", err)
+			}
+			s.Cat.Abandon() // the daemon is "dead"
+
+			// Restart: reopen the directory, load the model, score with it.
+			re := openSession(t, dir)
+			defer re.Cat.Close()
+			taskName, _, err := re.loadMeta("m")
+			if err != nil {
+				t.Fatalf("recovered model does not load: %v (recovery: %+v)", err, re.Cat.Recovery)
+			}
+			if taskName != tc.wantTask {
+				t.Fatalf("recovered generation is task %q, want %q", taskName, tc.wantTask)
+			}
+			snapshotModel(t, re, "m") // non-empty coefficients
+			copyInto(t, re, "papers2", data.Forest(40, 5))
+			mustExec(t, re, `SELECT * FROM papers2 TO PREDICT USING m;`)
+		})
+	}
+}
+
+// TestPredictIntoCrashKeepsOldResult: the PREDICT ... INTO path rides the
+// same protocol — a kill before its commit leaves the previous result
+// table complete; after its commit, the new one.
+func TestPredictIntoCrashKeepsOldResult(t *testing.T) {
+	dir := testCatalogDir(t)
+	s := openSession(t, dir)
+	copyInto(t, s, "papers", data.Forest(100, 5))
+	mustExec(t, s, gen1Train)
+	mustExec(t, s, `SELECT * FROM papers TO PREDICT INTO out USING m;`)
+	if err := s.Cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotModel(t, s, "out") // (id, score) rows reuse the scanner
+
+	s.Cat.Hooks.AfterShadowSync = func([]string) error { return engine.ErrInjectedCrash }
+	copyInto(t, s, "papers2", data.Forest(30, 5))
+	err := s.Exec(`SELECT * FROM papers2 TO PREDICT INTO out USING m;`)
+	if !errors.Is(err, engine.ErrInjectedCrash) {
+		t.Fatalf("predict under injected crash: %v", err)
+	}
+	s.Cat.Abandon()
+
+	re := openSession(t, dir)
+	defer re.Cat.Close()
+	after := snapshotModel(t, re, "out")
+	if len(after) != 100 || !sameModel(before, after) {
+		t.Fatalf("result table torn: %d rows recovered, want the intact 100-row generation", len(after))
+	}
+}
+
+// TestConcurrentSaveFillsSerialize: two sessions saving the same model
+// name queue on the shadow fill lock instead of colliding on the shadow
+// heap — both must succeed, last commit wins, and readers never error.
+func TestConcurrentSaveFillsSerialize(t *testing.T) {
+	cat := engine.NewCatalog()
+	guard := newTestGuard()
+	seedSess := &Session{Cat: cat, Out: &bytes.Buffer{}, Guard: guard}
+	copyInto(t, seedSess, "papers", data.Forest(150, 5))
+	mustExec(t, seedSess, gen1Train)
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int) {
+			sess := &Session{Cat: cat, Out: &bytes.Buffer{}, Guard: guard}
+			var err error
+			for r := 0; r < 10 && err == nil; r++ {
+				err = sess.Exec(gen2Train)
+			}
+			done <- err
+		}(i)
+	}
+	reader := &Session{Cat: cat, Out: &bytes.Buffer{}, Guard: guard}
+	for i := 0; i < 20; i++ {
+		if err := reader.Exec(`SELECT * FROM papers TO PREDICT USING m;`); err != nil {
+			t.Fatalf("reader during concurrent saves: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent saver: %v", err)
+		}
+	}
+	snapshotModel(t, reader, "m")
+}

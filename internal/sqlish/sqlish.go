@@ -19,6 +19,7 @@
 package sqlish
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -80,8 +81,8 @@ func (s *Session) Run(st *spec.Statement) error {
 	// whole training run. Exact-name matches are fine (replacement). This
 	// pre-check is best-effort: it holds no lock across the training, so a
 	// name created concurrently still surfaces at save time through the
-	// engine's own check (the backstop that actually guarantees no
-	// collision is ever created).
+	// engine's own checks (Create for the shadow, Swap for the final name —
+	// the backstops that actually guarantee no collision is ever created).
 	if st.Into != "" {
 		for _, n := range []string{st.Into, metaTable(st.Into)} {
 			if ex := s.Cat.FindCaseConflict(n); ex != "" {
@@ -397,26 +398,26 @@ func (s *Session) predict(st *spec.Statement) error {
 		return fmt.Errorf("sqlish: no rows to predict in %s", st.From)
 	}
 	if st.Into != "" {
-		// The destination's exclusive lock spans drop, recreate, and fill:
-		// another session scanning the old table (or the half-filled new
-		// one) would otherwise see a torn result set.
-		unlock := s.lockName(st.Into)
-		err := func() error {
-			dst, err := s.replaceTable(st.Into, engine.Schema{
-				{Name: "id", Type: engine.TInt64},
-				{Name: "score", Type: engine.TFloat64},
-			})
-			if err != nil {
-				return err
-			}
+		// Shadow-generation write (same protocol as saveModel): the result
+		// set is filled into a reserved shadow table with no lock on the
+		// destination name, then published by Catalog.Swap under the
+		// destination's exclusive lock — which now guards only the cheap
+		// rename. Readers of the old table are never blocked by the fill
+		// and can never see a half-filled heap; a failure (or crash)
+		// mid-fill leaves the previous result table fully readable. If the
+		// destination was previously a model, its __meta side table retires
+		// at the same commit so no stale metadata outlives the coefficients.
+		err := s.fillAndSwap(st.Into, engine.Schema{
+			{Name: "id", Type: engine.TInt64},
+			{Name: "score", Type: engine.TFloat64},
+		}, []string{metaTable(st.Into)}, func(dst *engine.Table) error {
 			for _, p := range preds {
 				if err := dst.Insert(engine.Tuple{engine.I64(p.id), engine.F64(p.score)}); err != nil {
 					return err
 				}
 			}
-			return dst.Flush()
-		}()
-		unlock()
+			return nil
+		})
 		if err != nil {
 			return err
 		}
@@ -477,33 +478,89 @@ const metaSuffix = spec.MetaSuffix
 // metaTable names the metadata side table of a model.
 func metaTable(model string) string { return model + metaSuffix }
 
-// replaceTable drops any stale table of the same name — together with its
-// model-metadata side table, so overwriting a model's name can never leave
-// stale metadata pointing at non-model rows — and recreates it. Callers
-// replacing a shared table must hold the name's exclusive Guard lock for
-// the whole replace-and-fill window (saveModel and the PREDICT INTO path
-// do); the engine catalog's own mutex only makes the individual drop and
-// create atomic, not the gap between them.
-func (s *Session) replaceTable(name string, schema engine.Schema) (*engine.Table, error) {
-	if _, err := s.Cat.Get(name); err == nil {
-		if err := s.Cat.Drop(name); err != nil {
+// shadowName derives the reserved in-flight generation name of a table.
+func shadowName(name string) string { return name + engine.ShadowSuffix }
+
+// buildShadow creates the reserved shadow table for name, first clearing
+// any stale shadow a previously failed save left registered in this
+// process (the recovery sweep handles the on-disk equivalent at startup).
+func (s *Session) buildShadow(name string, schema engine.Schema) (*engine.Table, error) {
+	sh := shadowName(name)
+	if _, err := s.Cat.Get(sh); err == nil {
+		if err := s.Cat.Drop(sh); err != nil {
 			return nil, err
 		}
 	}
-	if _, err := s.Cat.Get(metaTable(name)); err == nil {
-		if err := s.Cat.Drop(metaTable(name)); err != nil {
-			return nil, err
-		}
-	}
-	return s.Cat.Create(name, schema)
+	return s.Cat.Create(sh, schema)
 }
 
-// saveModel persists the trained model under the name's exclusive lock,
-// spanning both the coefficient table and the metadata side table so no
-// reader can pair new coefficients with old metadata.
-func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w vector.Dense) error {
-	defer s.lockName(name)()
-	tbl, err := s.replaceTable(name, ModelSchema)
+// dropShadow best-effort discards an in-flight shadow after a failed fill;
+// the previous generation was never touched, so the failure is a no-op.
+func (s *Session) dropShadow(name string) {
+	sh := shadowName(name)
+	if _, err := s.Cat.Get(sh); err == nil {
+		_ = s.Cat.Drop(sh)
+	}
+}
+
+// fillAndSwap runs the single-table shadow protocol: build name's shadow,
+// fill and flush it (no lock on name held — readers of the previous
+// generation proceed throughout), then commit via Catalog.Swap under
+// name's exclusive lock, atomically retiring dropAlso names that exist.
+// The fill window itself is serialized per name by the shadow name's
+// exclusive lock, so two concurrent writers of one destination queue up
+// instead of colliding on the shadow heap.
+func (s *Session) fillAndSwap(name string, schema engine.Schema, dropAlso []string, fill func(*engine.Table) error) (err error) {
+	defer s.lockName(shadowName(name))()
+	defer func() {
+		if err != nil && !errors.Is(err, engine.ErrInjectedCrash) {
+			s.dropShadow(name)
+		}
+	}()
+	dst, err := s.buildShadow(name, schema)
+	if err != nil {
+		return err
+	}
+	if err := fill(dst); err != nil {
+		return err
+	}
+	if err := dst.Flush(); err != nil {
+		return err
+	}
+	unlock := s.lockName(name)
+	err = s.Cat.Swap([]string{name}, []string{shadowName(name)}, dropAlso)
+	unlock()
+	return err
+}
+
+// metaFillFault, when set by a test, fails the metadata fill after the
+// coefficient shadow is complete — the partial-failure window that used to
+// leave new coefficients paired with old (or no) metadata.
+var metaFillFault func(model string) error
+
+// saveModel persists the trained model through the shadow-generation
+// protocol: both the coefficient table and the metadata side table are
+// built and flushed under reserved shadow names with no lock on the model
+// (readers keep scoring against the previous generation), then published
+// together by one Catalog.Swap commit under the model's exclusive lock.
+// The lock now guards only the rename; a failure — or a crash — anywhere
+// in the fill window leaves the previous model generation fully readable,
+// and the two tables can only ever move between generations as a pair.
+//
+// Lock order within this one call site: the shadow fill lock (serializing
+// concurrent saves of the same model) is held while the model lock is
+// taken for the commit. The pair is always acquired in that order and the
+// model lock is never held while waiting on a shadow lock, so the
+// documented no-two-model-locks cycle-freedom argument still holds.
+func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w vector.Dense) (err error) {
+	defer s.lockName(shadowName(name))()
+	defer func() {
+		if err != nil && !errors.Is(err, engine.ErrInjectedCrash) {
+			s.dropShadow(name)
+			s.dropShadow(metaTable(name))
+		}
+	}()
+	tbl, err := s.buildShadow(name, ModelSchema)
 	if err != nil {
 		return err
 	}
@@ -518,9 +575,14 @@ func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w ve
 	if err := tbl.Flush(); err != nil {
 		return err
 	}
-	meta, err := s.replaceTable(metaTable(name), MetaSchema)
+	meta, err := s.buildShadow(metaTable(name), MetaSchema)
 	if err != nil {
 		return err
+	}
+	if metaFillFault != nil {
+		if err := metaFillFault(name); err != nil {
+			return err
+		}
 	}
 	if err := meta.Insert(engine.Tuple{engine.Str("task"), engine.Str(ts.Name)}); err != nil {
 		return err
@@ -535,7 +597,16 @@ func (s *Session) saveModel(name string, ts *spec.TaskSpec, task core.Task, w ve
 			}
 		}
 	}
-	return meta.Flush()
+	if err := meta.Flush(); err != nil {
+		return err
+	}
+	unlock := s.lockName(name)
+	err = s.Cat.Swap(
+		[]string{name, metaTable(name)},
+		[]string{shadowName(name), shadowName(metaTable(name))},
+		nil)
+	unlock()
+	return err
 }
 
 // loadModel reads the persisted coefficient table into a dense vector of
