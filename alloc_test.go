@@ -50,6 +50,42 @@ func TestEpochScanAllocs(t *testing.T) {
 	}
 }
 
+// TestShardedEpochAllocs asserts the shared-nothing epoch workers are
+// zero-alloc in steady state: all per-shard machinery (epoch sources,
+// replicas, step closures) is built once, so a whole sharded epoch —
+// thousands of rows — stays within a tiny constant budget that only covers
+// goroutine spawn bookkeeping. Any per-row allocation would blow the
+// budget by orders of magnitude.
+func TestShardedEpochAllocs(t *testing.T) {
+	cases, err := experiments.ShardedEpochCases(2000, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := map[string]float64{
+		"dense-lr/sharded/1w":   2,
+		"dense-lr/sharded/4w":   8,
+		"sparse-svm/sharded/1w": 2,
+		"sparse-svm/sharded/4w": 8,
+	}
+	for name, budget := range budgets {
+		c, err := experiments.FindEpochScanCase(cases, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil { // warm up goroutine free lists
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("%s: %.1f allocs per sharded epoch, budget %.0f", name, allocs, budget)
+		}
+	}
+}
+
 // TestStepAllocs asserts the per-tuple transition functions of the linear
 // tasks are allocation-free on a dense model: the fused-kernel gain
 // closures must stay on the stack.

@@ -92,6 +92,8 @@ type benchFile struct {
 	Speedups  struct {
 		DenseLRCachedVsDecode   float64 `json:"dense_lr_cached_vs_decode"`
 		SparseSVMCachedVsDecode float64 `json:"sparse_svm_cached_vs_decode"`
+		DenseLRSharded4wVs1w    float64 `json:"dense_lr_sharded_4w_vs_1w"`
+		SparseSVMSharded4wVs1w  float64 `json:"sparse_svm_sharded_4w_vs_1w"`
 	} `json:"speedups"`
 }
 
@@ -103,11 +105,18 @@ func writeBenchJSON(path string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	sharded, err := experiments.ShardedEpochCases(
+		experiments.EpochScanDenseRows, experiments.EpochScanSparseRows, seed)
+	if err != nil {
+		return err
+	}
+	cases = append(cases, sharded...)
 	out := benchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Note: "one op = one full epoch of gradient steps; decode = per-row " +
 			"DecodeTuple (seed path), reuse = reusable-scratch decode, cached = " +
-			"materialized columnar row cache",
+			"materialized columnar row cache, sharded/Kw = K shared-nothing " +
+			"shard workers merged by row-weighted model averaging",
 	}
 	rows := map[string]float64{}
 	for _, c := range cases {
@@ -143,6 +152,12 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	if d := rows["sparse-svm/decode/1w"]; d > 0 {
 		out.Speedups.SparseSVMCachedVsDecode = rows["sparse-svm/cached/1w"] / d
+	}
+	if d := rows["dense-lr/sharded/1w"]; d > 0 {
+		out.Speedups.DenseLRSharded4wVs1w = rows["dense-lr/sharded/4w"] / d
+	}
+	if d := rows["sparse-svm/sharded/1w"]; d > 0 {
+		out.Speedups.SparseSVMSharded4wVs1w = rows["sparse-svm/sharded/4w"] / d
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

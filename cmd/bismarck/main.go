@@ -130,7 +130,7 @@ func statementLoop(exec func(text string)) {
 			fmt.Println("  SELECT cols FROM t [WHERE ...] TO TRAIN task [WITH k=v,...] [COLUMN ...] [LABEL c] INTO model [ASYNC];")
 			fmt.Println("  SELECT cols FROM t TO PREDICT [WITH threshold=x] [INTO out] USING model;")
 			fmt.Println("  SELECT cols FROM t TO EVALUATE USING model;")
-			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;")
+			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;  SHOW SHARDS t [k];")
 			fmt.Println("  SHOW JOBS;  WAIT JOB n;  CANCEL JOB n;    (with -connect)")
 		default:
 			buf.WriteString(line)

@@ -1,0 +1,185 @@
+package engine
+
+import "fmt"
+
+// This file implements horizontal table sharding — the storage half of the
+// shared-nothing training mode. A ShardedTable partitions one table's rows
+// into K independent shard heaps, each with its own primed decoded-row
+// cache, so K epoch workers can each run the zero-allocation cached epoch
+// pipeline over a private slice of the data with no shared mutable state
+// at all (the scale-out counterpart of the paper's pure-UDA plan, whose
+// segments still share one heap and one buffer pool).
+
+// ShardStrategy selects how rows are assigned to shards.
+type ShardStrategy int
+
+// Row-to-shard assignment strategies.
+const (
+	// ShardRoundRobin deals rows out cyclically: shard = row % K. Perfectly
+	// balanced (counts differ by at most one) and the default.
+	ShardRoundRobin ShardStrategy = iota
+	// ShardHash assigns shard = mix64(row) % K, a deterministic hash of the
+	// row position. Balanced in expectation; unlike round-robin, a row's
+	// shard does not shift when its neighbors are filtered out.
+	ShardHash
+)
+
+// String implements fmt.Stringer (the names match the shard_by knob).
+func (s ShardStrategy) String() string {
+	switch s {
+	case ShardRoundRobin:
+		return "roundrobin"
+	case ShardHash:
+		return "hash"
+	}
+	return fmt.Sprintf("ShardStrategy(%d)", int(s))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, allocation-free bijective
+// mixer that turns sequential row numbers into well-distributed hash bits.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardedTable is a horizontal partitioning of one table into K in-memory
+// shard tables. It is a snapshot: built by one scan of the source, it does
+// not track later source mutations (exactly like the statement layer's
+// projected views, which is where trainers shard). Shard tables are plain
+// *Table values, so every scan path — cached epochs, reusable-scratch
+// decode, segment scans — works per shard unchanged. Shards never enter a
+// catalog and have no on-disk presence, so they are invisible to the
+// shadow-swap protocol and the recovery sweep.
+type ShardedTable struct {
+	Name     string
+	Schema   Schema
+	Strategy ShardStrategy
+
+	shards []*Table
+	rows   []int
+}
+
+// ShardCounts computes the per-shard row counts a k-way partition of n
+// rows would produce, without building anything: both strategies assign by
+// row index alone, so the distribution is a pure function of (n, k). SHOW
+// SHARDS reports through this — partitioning a near-limit table twice just
+// to print 2×k integers would be a multi-gigabyte diagnostic.
+func ShardCounts(n, k int, strategy ShardStrategy) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("engine: shard count must be >= 1, got %d", k)
+	}
+	counts := make([]int, k)
+	switch strategy {
+	case ShardRoundRobin:
+		for i := range counts {
+			counts[i] = n / k
+			if i < n%k {
+				counts[i]++
+			}
+		}
+	case ShardHash:
+		for row := uint64(0); row < uint64(n); row++ {
+			counts[mix64(row)%uint64(k)]++
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown shard strategy %v", strategy)
+	}
+	return counts, nil
+}
+
+// ShardTable partitions src's rows into k shards under the given strategy.
+// Each shard's decoded-row cache is primed during the partitioning scan
+// (when src is within the materialization budget), so shard workers never
+// pay an insert-encode-decode round trip before their first epoch.
+func ShardTable(src *Table, k int, strategy ShardStrategy) (*ShardedTable, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("engine: shard count must be >= 1, got %d", k)
+	}
+	switch strategy {
+	case ShardRoundRobin, ShardHash:
+	default:
+		return nil, fmt.Errorf("engine: unknown shard strategy %v", strategy)
+	}
+	st := &ShardedTable{Name: src.Name, Schema: src.Schema, Strategy: strategy,
+		shards: make([]*Table, k), rows: make([]int, k)}
+	// Priming honors the same budget Table.Materialize enforces: the shards
+	// jointly hold one decoded copy of the source, so the source's own
+	// cache eligibility is the gate. An over-budget source additionally
+	// pins its shards out of the cache outright — each shard fits the
+	// per-table budget on its own, so without the pin a later lazy
+	// Materialize per shard would rebuild, K pieces at a time, the exact
+	// decoded copy the source was refused.
+	prime := src.Cacheable()
+	builders := make([]*MatBuilder, k)
+	for i := range st.shards {
+		st.shards[i] = NewMemTable(fmt.Sprintf("%s__shard%d", src.Name, i), src.Schema)
+		st.shards[i].uncacheable = !prime
+		if prime {
+			builders[i] = NewMatBuilder(src.Schema)
+		}
+	}
+	row := uint64(0)
+	err := src.ScanReuse(func(tp Tuple) error {
+		si := row % uint64(k)
+		if strategy == ShardHash {
+			si = mix64(row) % uint64(k)
+		}
+		row++
+		st.rows[si]++
+		if builders[si] != nil {
+			if err := builders[si].Add(tp); err != nil {
+				return err
+			}
+		}
+		return st.shards[si].Insert(tp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range st.shards {
+		if err := t.Flush(); err != nil {
+			return nil, err
+		}
+		if builders[i] != nil {
+			if err := t.PrimeCache(builders[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// NumShards returns the partition count K.
+func (st *ShardedTable) NumShards() int { return len(st.shards) }
+
+// Shard returns shard i as an ordinary table.
+func (st *ShardedTable) Shard(i int) *Table { return st.shards[i] }
+
+// RowCounts returns the per-shard row counts (a copy).
+func (st *ShardedTable) RowCounts() []int {
+	out := make([]int, len(st.rows))
+	copy(out, st.rows)
+	return out
+}
+
+// NumRows returns the total row count across all shards.
+func (st *ShardedTable) NumRows() int {
+	n := 0
+	for _, r := range st.rows {
+		n += r
+	}
+	return n
+}
+
+// Close releases every shard's heap.
+func (st *ShardedTable) Close() error {
+	var first error
+	for _, t := range st.shards {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -42,6 +42,12 @@ type Table struct {
 	version atomic.Uint64
 	matMu   sync.Mutex
 	mat     *Materialized
+	// uncacheable pins the table out of the decoded-row cache regardless
+	// of its own size. ShardTable sets it on the shards of an over-budget
+	// source: each shard fits the per-table budget, but materializing all
+	// of them would rebuild the full decoded copy the source itself was
+	// refused.
+	uncacheable bool
 }
 
 // NewMemTable creates an in-memory table.
@@ -176,6 +182,18 @@ var MaterializeLimitBytes = 1 << 30
 // callers fall back to ScanReuse.
 var ErrUncacheable = errors.New("engine: table exceeds the materialization limit")
 
+// Cacheable reports whether the table is eligible for the decoded-row
+// cache: within the materialization budget and not pinned out of it. The
+// one estimate every priming gate shares — Materialize, the spec layer's
+// view projection, and ShardTable all decide through it, so "primed" and
+// "materializable" cannot drift apart.
+func (t *Table) Cacheable() bool {
+	if t.uncacheable {
+		return false
+	}
+	return int64(t.heap.NumPages()+1)*PageSize <= int64(MaterializeLimitBytes)
+}
+
 // Materialize returns the table's decoded-row cache, building (or
 // rebuilding) it when the table version has moved since the last build.
 // The returned cache is immutable and shared: callers that reorder rows
@@ -188,7 +206,7 @@ func (t *Table) Materialize() (*Materialized, error) {
 	if t.mat != nil && t.mat.version == v {
 		return t.mat, nil
 	}
-	if est := int64(t.heap.NumPages()+1) * PageSize; est > int64(MaterializeLimitBytes) {
+	if !t.Cacheable() {
 		return nil, ErrUncacheable
 	}
 	b := NewMatBuilder(t.Schema)

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bismarck/internal/core"
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+	"bismarck/internal/parallel"
+	"bismarck/internal/tasks"
+	"bismarck/internal/vector"
+)
+
+// ShardedEpochCases builds the BenchmarkShardedEpoch family: one op = one
+// shared-nothing epoch — K shard workers each scanning their shard's
+// primed decoded-row cache into a private model replica, then one
+// row-weighted model average — over the same dense-LR and sparse-SVM
+// workloads as EpochScanCases, at K ∈ {1, 2, 4}. The per-shard state is
+// built once (parallel.NewShardedEpoch), so the measured op is exactly the
+// trainer's steady state; the K=1 case is the sharded mode's overhead
+// floor against the plain cached epoch of EpochScanCases.
+func ShardedEpochCases(denseRows, sparseRows int, seed int64) ([]EpochScanCase, error) {
+	type workload struct {
+		name string
+		tbl  *engine.Table
+		task core.Task
+		dim  int
+		rows int
+	}
+	wls := []workload{
+		{name: "dense-lr", tbl: data.Forest(denseRows, seed),
+			task: tasks.NewLR(54), dim: 54, rows: denseRows},
+		{name: "sparse-svm", tbl: data.DBLife(sparseRows, 41000, 12, seed+1),
+			task: tasks.NewSVM(41000), dim: 41000, rows: sparseRows},
+	}
+
+	const alpha = 0.01
+	var cases []EpochScanCase
+	for _, wl := range wls {
+		if err := wl.tbl.Flush(); err != nil {
+			return nil, err
+		}
+		for _, k := range []int{1, 2, 4} {
+			sharded, err := engine.ShardTable(wl.tbl, k, engine.ShardRoundRobin)
+			if err != nil {
+				return nil, err
+			}
+			se, err := parallel.NewShardedEpoch(wl.task, sharded, core.NoOrder{}, seed)
+			if err != nil {
+				return nil, err
+			}
+			// The model drifts across ops; like EpochScanCases, that is
+			// irrelevant to the scan-and-merge cost being measured.
+			w := vector.NewDense(wl.dim)
+			epoch := 0
+			cases = append(cases, EpochScanCase{
+				Name: fmt.Sprintf("%s/sharded/%dw", wl.name, k),
+				Rows: wl.rows,
+				Run: func() error {
+					epoch++
+					return se.Run(epoch, w, alpha)
+				},
+			})
+		}
+	}
+	return cases, nil
+}

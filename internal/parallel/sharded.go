@@ -1,0 +1,286 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/vector"
+)
+
+// This file implements the shared-nothing sharded training mode: partition
+// the data into K shard heaps, run one epoch worker per shard against a
+// private model replica, and merge the replicas at every epoch boundary by
+// row-weighted model averaging (Zinkevich et al. — the same algebra the
+// pure-UDA merge uses, applied across shards instead of page segments).
+// Unlike the shared-memory modes, workers share no mutable state during an
+// epoch: each scans its own shard's decoded-row cache and updates its own
+// dense replica, which is what lets the mode scale past one shared model
+// and is the seam later distributed backends hang off.
+
+// ShardedEpoch drives one shared-nothing epoch (and the matching loss
+// pass) over a partitioned table. It is the reusable steady-state core of
+// ShardedTrainer, exposed so benchmarks and allocation tests measure the
+// exact trainer path: all per-shard state — epoch sources, replicas, step
+// closures, partial-loss accumulators — is allocated once at construction,
+// and Run itself allocates nothing per row.
+type ShardedEpoch struct {
+	task     core.Task
+	prepares []func(epoch int, rng *rand.Rand) error
+	rngs     []*rand.Rand
+	workers  []*shardWorker
+	weights  []float64
+	total    float64
+
+	// Per-call state, published to workers before the goroutines spawn.
+	cur   vector.Dense // model the epoch starts from / loss is evaluated at
+	alpha float64
+	epoch int
+
+	errs []error
+	wg   sync.WaitGroup
+}
+
+// shardWorker is one shard's private training state: its scan source, its
+// model replica, and the pre-bound callbacks the scans run — bound once so
+// a steady-state epoch creates no closures.
+type shardWorker struct {
+	se      *ShardedEpoch
+	src     engine.Relation
+	model   core.DenseModel // W is this shard's replica
+	partial float64         // loss accumulator of the last Loss pass
+	stepFn  func(engine.Tuple) error
+	lossFn  func(engine.Tuple) error
+}
+
+func (sw *shardWorker) step(tp engine.Tuple) error {
+	sw.se.task.Step(&sw.model, tp, sw.se.alpha)
+	return nil
+}
+
+func (sw *shardWorker) loss(tp engine.Tuple) error {
+	sw.partial += sw.se.task.Loss(sw.se.cur, tp)
+	return nil
+}
+
+// NewShardedEpoch builds the per-shard state over a partitioned table.
+// Shard i's ordering runs off its own rng stream seeded seed+i, so shard 0
+// of a 1-shard partition replays exactly the sequential trainer's stream
+// (the determinism the K=1 parity test pins down).
+func NewShardedEpoch(task core.Task, st *engine.ShardedTable, order core.OrderStrategy, seed int64) (*ShardedEpoch, error) {
+	if order == nil {
+		order = core.NoOrder{}
+	}
+	k := st.NumShards()
+	se := &ShardedEpoch{
+		task:     task,
+		prepares: make([]func(int, *rand.Rand) error, k),
+		rngs:     make([]*rand.Rand, k),
+		workers:  make([]*shardWorker, k),
+		weights:  make([]float64, k),
+		errs:     make([]error, k),
+	}
+	for i, rows := range st.RowCounts() {
+		src, prepare, err := core.EpochSource(st.Shard(i), order, engine.Profile{})
+		if err != nil {
+			return nil, err
+		}
+		se.prepares[i] = prepare
+		se.rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+		sw := &shardWorker{se: se, src: src}
+		sw.model.W = vector.NewDense(task.Dim())
+		sw.stepFn = sw.step
+		sw.lossFn = sw.loss
+		se.workers[i] = sw
+		se.weights[i] = float64(rows)
+		se.total += float64(rows)
+	}
+	return se, nil
+}
+
+// Run executes one shared-nothing epoch: every worker copies w into its
+// replica, applies its shard's ordering, scans its shard performing
+// gradient steps with step size alpha, and the replicas are merged back
+// into w by row-weighted averaging. A worker error — or panic — fails the
+// epoch (and with it the statement), never the process; w is then left
+// unchanged, since the merge only runs when every shard finished.
+func (se *ShardedEpoch) Run(epoch int, w vector.Dense, alpha float64) error {
+	se.cur, se.alpha, se.epoch = w, alpha, epoch
+	for i := range se.workers {
+		se.wg.Add(1)
+		go se.runWorker(i)
+	}
+	se.wg.Wait()
+	for _, err := range se.errs {
+		if err != nil {
+			return err
+		}
+	}
+	if se.total == 0 {
+		return nil // empty table: nothing trained, w unchanged
+	}
+	for j := range w {
+		w[j] = 0
+	}
+	for i, sw := range se.workers {
+		if se.weights[i] == 0 {
+			continue
+		}
+		vector.Axpy(w, sw.model.W, se.weights[i]/se.total)
+	}
+	return nil
+}
+
+func (se *ShardedEpoch) runWorker(i int) {
+	defer se.wg.Done()
+	defer se.recoverInto(i)
+	sw := se.workers[i]
+	if err := se.prepares[i](se.epoch, se.rngs[i]); err != nil {
+		se.errs[i] = err
+		return
+	}
+	copy(sw.model.W, se.cur)
+	se.errs[i] = sw.src.Scan(sw.stepFn)
+}
+
+// Loss evaluates the total objective of w across all shards in parallel:
+// each worker sums its shard's example losses (reading the shared w, which
+// no one mutates during the pass) and the partials are reduced in shard
+// order, so the sum is deterministic for a fixed partitioning.
+func (se *ShardedEpoch) Loss(w vector.Dense) (float64, error) {
+	se.cur = w
+	for i := range se.workers {
+		se.wg.Add(1)
+		go se.lossWorker(i)
+	}
+	se.wg.Wait()
+	var sum float64
+	for i, err := range se.errs {
+		if err != nil {
+			return 0, err
+		}
+		sum += se.workers[i].partial
+	}
+	if r, ok := se.task.(core.Regularized); ok {
+		sum += r.RegPenalty(w)
+	}
+	return sum, nil
+}
+
+func (se *ShardedEpoch) lossWorker(i int) {
+	defer se.wg.Done()
+	defer se.recoverInto(i)
+	sw := se.workers[i]
+	sw.partial = 0
+	se.errs[i] = sw.src.Scan(sw.lossFn)
+}
+
+// recoverInto converts a worker panic into that shard's error slot: one
+// crashing shard fails the training statement, not the daemon.
+func (se *ShardedEpoch) recoverInto(i int) {
+	if r := recover(); r != nil {
+		se.errs[i] = fmt.Errorf("parallel: shard %d worker panicked: %v", i, r)
+	}
+}
+
+// ShardedTrainer runs the Bismarck epoch loop in the shared-nothing
+// sharded mode, alongside the shared-memory Trainer: the table is
+// partitioned once into Shards shard heaps, every epoch runs one worker
+// per shard against a private replica, and the replicas merge by
+// row-weighted averaging. Convergence bookkeeping (losses, RelTol,
+// TargetLoss, Deadline) mirrors core.Trainer; with Shards=1 the run is
+// bit-identical to the sequential trainer.
+type ShardedTrainer struct {
+	Task      core.Task
+	Step      core.StepRule
+	MaxEpochs int
+	// Shards is the partition count K (>= 1); each shard gets one worker.
+	Shards int
+	// Strategy selects row-to-shard assignment (round-robin or hash).
+	Strategy engine.ShardStrategy
+	// RelTol / TargetLoss mirror core.Trainer.
+	RelTol     float64
+	TargetLoss float64
+	Order      core.OrderStrategy
+	Seed       int64
+	InitModel  vector.Dense
+	SkipLoss   bool
+	// Deadline mirrors core.Trainer.Deadline.
+	Deadline time.Time
+}
+
+// Run partitions the table and trains the task, reporting the result.
+func (tr *ShardedTrainer) Run(tbl *engine.Table) (*core.Result, error) {
+	if tr.MaxEpochs <= 0 {
+		return nil, fmt.Errorf("parallel: MaxEpochs must be > 0")
+	}
+	if tr.Step == nil {
+		return nil, fmt.Errorf("parallel: Step is required")
+	}
+	if tr.Shards < 1 {
+		return nil, fmt.Errorf("parallel: Shards must be >= 1, got %d", tr.Shards)
+	}
+	sharded, err := engine.ShardTable(tbl, tr.Shards, tr.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	defer sharded.Close()
+	se, err := NewShardedEpoch(tr.Task, sharded, tr.Order, tr.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	w := tr.InitModel
+	if w == nil {
+		w = core.InitialModel(tr.Task, tr.Seed)
+	} else {
+		w = w.Clone()
+	}
+
+	res := &core.Result{}
+	start := time.Now()
+	prevLoss := math.NaN()
+	for e := 0; e < tr.MaxEpochs; e++ {
+		if !tr.Deadline.IsZero() && time.Now().After(tr.Deadline) {
+			res.Model = w
+			res.Total = time.Since(start)
+			return res, core.ErrDeadline
+		}
+		epochStart := time.Now()
+		if err := se.Run(e, w, tr.Step.Alpha(e)); err != nil {
+			return nil, err
+		}
+		res.Epochs = e + 1
+		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+
+		if !tr.SkipLoss {
+			loss, err := se.Loss(w)
+			if err != nil {
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+			if tr.TargetLoss != 0 && loss <= tr.TargetLoss {
+				res.Converged = true
+				break
+			}
+			if tr.RelTol > 0 && !math.IsNaN(prevLoss) {
+				den := math.Abs(prevLoss)
+				if den == 0 {
+					den = 1
+				}
+				if math.Abs(prevLoss-loss)/den < tr.RelTol {
+					res.Converged = true
+					break
+				}
+			}
+			prevLoss = loss
+		}
+	}
+	res.Model = w
+	res.Total = time.Since(start)
+	return res, nil
+}

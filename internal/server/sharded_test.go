@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"bismarck/internal/engine"
+)
+
+// TestConcurrentShardedTrainJobs reuses the 8-client TCP harness for the
+// sharded mode: every client keeps submitting `WITH shards=K` ASYNC
+// retrains of its own model plus a shared model, interleaved with SHOW
+// SHARDS diagnostics and PREDICTs against the shared model. Under -race
+// this proves the partitioning scan, the per-shard epoch workers, and the
+// epoch-boundary averaging free of data races across concurrent sharded
+// jobs; the final ledger and model tables prove no job and no model was
+// lost.
+func TestConcurrentShardedTrainJobs(t *testing.T) {
+	m := NewManager(engine.NewCatalog(), Options{Workers: 4})
+	seedPapers(t, m, 300)
+	addr := startTCP(t, m)
+
+	// Generation zero of the shared model, itself trained sharded.
+	boot, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boot.Exec("SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, shards=2, seed=1 INTO shared"); err != nil {
+		t.Fatal(err)
+	}
+	boot.Close()
+
+	const clients = 8
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*rounds*4)
+
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", ci, err)
+				return
+			}
+			defer c.Close()
+
+			task := "lr"
+			if ci%2 == 1 {
+				task = "svm"
+			}
+			shardBy := "roundrobin"
+			if ci%2 == 1 {
+				shardBy = "hash"
+			}
+			own := fmt.Sprintf("own_%d", ci)
+			var waits []string
+
+			submit := func(stmt string) {
+				body, err := c.Exec(stmt)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %s: %w", ci, stmt, err)
+					return
+				}
+				match := jobIDRe.FindStringSubmatch(body)
+				if match == nil {
+					errs <- fmt.Errorf("client %d: submit gave no job id: %q", ci, body)
+					return
+				}
+				waits = append(waits, match[1])
+			}
+
+			for r := 0; r < rounds; r++ {
+				k := 2 + 2*(ci%2) // shards=2 or shards=4
+				submit(fmt.Sprintf(
+					"SELECT vec, label FROM papers TO TRAIN %s WITH epochs=2, shards=%d, shard_by=%s, seed=%d INTO %s ASYNC",
+					task, k, shardBy, ci*10+r, own))
+				if ci%2 == 0 {
+					submit(fmt.Sprintf(
+						"SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, shards=4, seed=%d INTO shared ASYNC",
+						100+ci*10+r))
+				}
+				// SHOW SHARDS is a concurrent read of the shared table while
+				// the sharded retrains churn.
+				body, err := c.Exec("SHOW SHARDS papers 4")
+				if err != nil {
+					errs <- fmt.Errorf("client %d show shards: %w", ci, err)
+					return
+				}
+				if !strings.Contains(body, "300 rows over 4 shards") {
+					errs <- fmt.Errorf("client %d: bad SHOW SHARDS: %q", ci, body)
+					return
+				}
+				body, err = c.Exec("SELECT * FROM papers TO PREDICT USING shared")
+				if err != nil {
+					errs <- fmt.Errorf("client %d predict: %w", ci, err)
+					return
+				}
+				if !strings.Contains(body, "predicted 300 rows") {
+					errs <- fmt.Errorf("client %d: torn predict: %q", ci, body)
+					return
+				}
+			}
+			for _, id := range waits {
+				if _, err := c.Exec("WAIT JOB " + id); err != nil {
+					errs <- fmt.Errorf("client %d wait %s: %w", ci, id, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Final ledger: every sharded job terminal and done.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	body, err := c.Exec("SHOW JOBS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if !strings.Contains(line, "done") {
+			t.Errorf("non-terminal or failed sharded job: %s", line)
+		}
+	}
+	for ci := 0; ci < clients; ci++ {
+		if w := readModel(t, m.Catalog(), fmt.Sprintf("own_%d", ci)); len(w) == 0 {
+			t.Errorf("own_%d model empty", ci)
+		}
+	}
+	if w := readModel(t, m.Catalog(), "shared"); len(w) == 0 {
+		t.Error("shared model empty")
+	}
+}

@@ -63,6 +63,9 @@ const (
 	KindWaitJob
 	// KindCancelJob is CANCEL JOB <id>: cancel a queued/running job.
 	KindCancelJob
+	// KindShowShards is SHOW SHARDS <table> [k]: report how the table's
+	// rows would partition across k shards under each strategy.
+	KindShowShards
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +89,8 @@ func (k Kind) String() string {
 		return "WAIT JOB"
 	case KindCancelJob:
 		return "CANCEL JOB"
+	case KindShowShards:
+		return "SHOW SHARDS"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -194,6 +199,9 @@ type Statement struct {
 	Async bool
 	// JobID is the job of WAIT JOB / CANCEL JOB.
 	JobID int64
+	// ShardCount is the optional shard count of SHOW SHARDS (0 = the
+	// session's default, typically the core count).
+	ShardCount int64
 }
 
 // WithValue returns the value of a WITH key, if present.

@@ -32,6 +32,11 @@ var seedStatements = []string{
 	"SHOW TABLES;",
 	"SHOW TASKS;",
 	"SHOW MODELS;",
+	// Sharded-training grammar.
+	"SELECT vec, label FROM papers TO TRAIN lr WITH shards=4, epochs=5 INTO m;",
+	"SELECT * FROM t TO TRAIN svm WITH shards=2, shard_by=hash INTO m ASYNC;",
+	"SHOW SHARDS forest;",
+	"SHOW SHARDS 'my table' 8;",
 	// Legacy calls.
 	"SELECT SVMTrain('m', 'papers', 'vec', 'label');",
 	"SELECT LRTrain('m', 'papers', 'vec', 'label');",
@@ -44,6 +49,10 @@ var seedStatements = []string{
 	"SELECT * FROM t TO TRAIN svm WITH alpha=+0.5 INTO 'it''s';",
 	"SELECT * FROM t TO TRAIN svm WITH alpha=-.5 INTO 'a\\'b';",
 	// Near-misses that must error cleanly.
+	"SHOW SHARDS;",
+	"SHOW SHARDS forest 0;",
+	"SHOW SHARDS forest 2.5;",
+	"SHOW SHARDS forest -1;",
 	"SELECT * FROM t TO PREDICT USING m ASYNC;",
 	"WAIT JOB -1;",
 	"WAIT JOB x;",
@@ -92,18 +101,22 @@ func FuzzParseStatement(f *testing.F) {
 // the fuzz target).
 func TestFuzzSeedsRoundTrip(t *testing.T) {
 	wantErr := map[string]bool{
-		"SELECT * FROM t TO PREDICT USING m ASYNC;": true,
-		"WAIT JOB -1;":                  true,
-		"WAIT JOB x;":                   true,
-		"CANCEL 3;":                     true,
-		"SELECT * FROM t TO TRAIN svm;": true,
-		"SELECT * FROM":                 true,
+		"SHOW SHARDS;":                                true,
+		"SHOW SHARDS forest 0;":                       true,
+		"SHOW SHARDS forest 2.5;":                     true,
+		"SHOW SHARDS forest -1;":                      true,
+		"SELECT * FROM t TO PREDICT USING m ASYNC;":   true,
+		"WAIT JOB -1;":                                true,
+		"WAIT JOB x;":                                 true,
+		"CANCEL 3;":                                   true,
+		"SELECT * FROM t TO TRAIN svm;":               true,
+		"SELECT * FROM":                               true,
 		"SELECT * FROM t TO TRAIN svm INTO m INTO n;": true,
-		"SHOW NOTHING;":           true,
-		"'unterminated":           true,
-		"SELECT 1e999999 FROM t;": true,
-		";;;":                     true,
-		"":                        true,
+		"SHOW NOTHING;":                               true,
+		"'unterminated":                               true,
+		"SELECT 1e999999 FROM t;":                     true,
+		";;;":                                         true,
+		"":                                            true,
 	}
 	for _, s := range seedStatements {
 		_, err := Parse(s)

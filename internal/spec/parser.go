@@ -154,8 +154,10 @@ func (p *parser) statement() (*Statement, error) {
 			return &Statement{Kind: KindShowModels}, nil
 		case p.keyword("JOBS"):
 			return &Statement{Kind: KindShowJobs}, nil
+		case p.keyword("SHARDS"):
+			return p.showShards()
 		}
-		return nil, p.errf("expected TABLES, TASKS, MODELS or JOBS after SHOW, found %s", p.peek())
+		return nil, p.errf("expected TABLES, TASKS, MODELS, JOBS or SHARDS after SHOW, found %s", p.peek())
 	case p.keyword("WAIT"):
 		return p.jobStatement(KindWaitJob, "WAIT")
 	case p.keyword("CANCEL"):
@@ -164,6 +166,27 @@ func (p *parser) statement() (*Statement, error) {
 		return p.selectStatement()
 	}
 	return nil, p.errf("expected SELECT, SHOW, WAIT or CANCEL, found %s", p.peek())
+}
+
+// showShards parses the tail of SHOW SHARDS <table> [k]: the table whose
+// shard distribution to report and an optional positive shard count.
+func (p *parser) showShards() (*Statement, error) {
+	name, err := p.name("a table name after SHOW SHARDS")
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: KindShowShards, From: name}
+	if t := p.peek(); t.kind == tokNumber {
+		if !t.isInt || t.ival < 1 {
+			return nil, p.errf("SHOW SHARDS wants a positive integer shard count, found %s", t)
+		}
+		if t.ival > MaxShards {
+			return nil, p.errf("SHOW SHARDS count %d exceeds the limit of %d", t.ival, MaxShards)
+		}
+		p.i++
+		st.ShardCount = t.ival
+	}
+	return st, p.validate(st)
 }
 
 // jobStatement parses the tail of WAIT JOB <id> / CANCEL JOB <id>.

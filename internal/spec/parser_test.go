@@ -2,6 +2,7 @@ package spec
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -468,5 +469,112 @@ func TestIntoCannotOverwriteSource(t *testing.T) {
 		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), want) {
 			t.Errorf("Parse(%.60q...): %v (want %q)", src, err, want)
 		}
+	}
+}
+
+// TestShowShardsParsing covers the SHOW SHARDS grammar: table name
+// (identifier or quoted), optional positive integer shard count, clean
+// rejection of missing names and non-positive or fractional counts.
+func TestShowShardsParsing(t *testing.T) {
+	st, err := Parse("SHOW SHARDS forest;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindShowShards || st.From != "forest" || st.ShardCount != 0 {
+		t.Fatalf("SHOW SHARDS forest parsed to %+v", st)
+	}
+	st, err = Parse("show shards 'my table' 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindShowShards || st.From != "my table" || st.ShardCount != 8 {
+		t.Fatalf("quoted SHOW SHARDS parsed to %+v", st)
+	}
+	if KindShowShards.String() != "SHOW SHARDS" {
+		t.Fatalf("kind string %q", KindShowShards)
+	}
+	for _, bad := range []string{
+		"SHOW SHARDS;",            // missing table
+		"SHOW SHARDS forest 0;",   // zero count
+		"SHOW SHARDS forest 2.5;", // fractional count
+		"SHOW SHARDS forest -3;",  // negative count (trailing input)
+		"SHOW SHARDS t__shadow;",  // reserved in-flight generation
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// TestShardsKnobValidation pins the shards / shard_by knob rules: positive
+// integers only, shard_by needs shards, and sharding is mutually exclusive
+// with the other parallelism/sampling knobs and the baseline solvers.
+func TestShardsKnobValidation(t *testing.T) {
+	knobsOf := func(src string) (Knobs, error) {
+		t.Helper()
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		k, _, err := SplitKnobs(st.With)
+		return k, err
+	}
+
+	k, err := knobsOf("SELECT * FROM t TO TRAIN lr WITH shards=4 INTO m;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Shards != 4 || k.ShardBy != "roundrobin" {
+		t.Fatalf("shards=4 bound to %+v", k)
+	}
+	if k.ShardStrategy().String() != "roundrobin" {
+		t.Fatalf("default strategy %v", k.ShardStrategy())
+	}
+	k, err = knobsOf("SELECT * FROM t TO TRAIN lr WITH shards=2, shard_by=hash INTO m;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.ShardStrategy().String() != "hash" {
+		t.Fatalf("shard_by=hash maps to %v", k.ShardStrategy())
+	}
+
+	for src, want := range map[string]string{
+		"SELECT * FROM t TO TRAIN lr WITH shards=0 INTO m;":                  "positive integer",
+		"SELECT * FROM t TO TRAIN lr WITH shards=-2 INTO m;":                 "positive integer",
+		"SELECT * FROM t TO TRAIN lr WITH shards=2.5 INTO m;":                "integer",
+		"SELECT * FROM t TO TRAIN lr WITH shards=four INTO m;":               "integer",
+		"SELECT * FROM t TO TRAIN lr WITH shard_by=hash INTO m;":             "requires shards",
+		"SELECT * FROM t TO TRAIN lr WITH shards=2, parallel=nolock INTO m;": "mutually exclusive",
+		"SELECT * FROM t TO TRAIN lr WITH shards=2, mrs=100 INTO m;":         "mutually exclusive",
+		"SELECT * FROM t TO TRAIN lr WITH shards=2, solver=batch INTO m;":    "does not combine",
+		"SELECT * FROM t TO TRAIN lr WITH shards=2, workers=8 INTO m;":       "ignores workers",
+	} {
+		if _, err := knobsOf(src); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("SplitKnobs(%q): %v (want %q)", src, err, want)
+		}
+	}
+}
+
+// TestShardsCapped pins the MaxShards bound: an unbounded K from an
+// untrusted statement would allocate K heaps/replicas and OOM the daemon,
+// so both the knob and the SHOW SHARDS count refuse counts past the cap.
+func TestShardsCapped(t *testing.T) {
+	st, err := Parse("SELECT * FROM t TO TRAIN lr WITH shards=10000000000 INTO m;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SplitKnobs(st.With); err == nil || !strings.Contains(err.Error(), "exceeds the limit") {
+		t.Fatalf("huge shards knob: %v", err)
+	}
+	if _, err := Parse("SHOW SHARDS t 10000000000;"); err == nil || !strings.Contains(err.Error(), "exceeds the limit") {
+		t.Fatalf("huge SHOW SHARDS count: %v", err)
+	}
+	// The cap itself is accepted.
+	st, err = Parse(fmt.Sprintf("SELECT * FROM t TO TRAIN lr WITH shards=%d INTO m;", MaxShards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SplitKnobs(st.With); err != nil {
+		t.Fatalf("shards=MaxShards should bind: %v", err)
 	}
 }

@@ -27,6 +27,8 @@ const (
 	KnobOrder     = "order"
 	KnobParallel  = "parallel"
 	KnobWorkers   = "workers"
+	KnobShards    = "shards"
+	KnobShardBy   = "shard_by"
 	KnobMRS       = "mrs"
 	KnobReservoir = "reservoir"
 	KnobSolver    = "solver"
@@ -46,11 +48,20 @@ var KnobSpecs = []ParamSpec{
 	EnumParam(KnobOrder, []string{"shuffle_once", "shuffle_always", "clustered"}, "data ordering (§3.2)"),
 	EnumParam(KnobParallel, []string{"none", "pure_uda", "lock", "aig", "nolock"}, "parallelism scheme (§3.3)"),
 	IntDefault(KnobWorkers, 0, "parallel workers (0 = all cores)"),
+	IntDefault(KnobShards, 0, "shared-nothing shards: K partitioned epoch workers merged by model averaging (0 disables)"),
+	EnumParam(KnobShardBy, []string{"roundrobin", "hash"}, "row-to-shard assignment for shards=K"),
 	IntDefault(KnobMRS, 0, "multiplexed reservoir sampling buffer capacity (§3.4)"),
 	IntDefault(KnobReservoir, 0, "single-reservoir subsample buffer capacity"),
 	EnumParam(KnobSolver, []string{"igd", "batch", "irls", "als"}, "training algorithm (igd is Bismarck)"),
 	FloatDefault(KnobThreshold, math.NaN(), "PREDICT decision threshold (default: task preference)"),
 }
+
+// MaxShards caps the shards knob and the SHOW SHARDS count. Shards are
+// in-process worker partitions, so anything past a few hundred is
+// operator error — and since every shard allocates a heap, a builder and
+// a model replica, an unbounded K from an untrusted statement would be a
+// one-line OOM kill of the daemon.
+const MaxShards = 1024
 
 // Knobs are the bound uniform training controls of one statement.
 type Knobs struct {
@@ -63,6 +74,8 @@ type Knobs struct {
 	Order     string
 	Parallel  string
 	Workers   int
+	Shards    int
+	ShardBy   string
 	MRS       int
 	Reservoir int
 	Solver    string
@@ -98,19 +111,35 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 		Order:     p.Str(KnobOrder),
 		Parallel:  p.Str(KnobParallel),
 		Workers:   p.Int(KnobWorkers),
+		Shards:    p.Int(KnobShards),
+		ShardBy:   p.Str(KnobShardBy),
 		MRS:       p.Int(KnobMRS),
 		Reservoir: p.Int(KnobReservoir),
 		Solver:    p.Str(KnobSolver),
 		Threshold: p.Float(KnobThreshold),
 	}
+	// An explicit shards knob must be a positive partition count: shards=0
+	// silently meaning "unsharded" would mask a typo, and negative counts
+	// are nonsense (the default 0 only means "no sharding" when omitted).
+	for _, pr := range knobPairs {
+		if pr.Key == KnobShards && pr.Val.Int <= 0 {
+			return Knobs{}, nil, fmt.Errorf("spec: shards must be a positive integer, got %s", pr.Val)
+		}
+		if pr.Key == KnobShards && pr.Val.Int > MaxShards {
+			return Knobs{}, nil, fmt.Errorf("spec: shards=%s exceeds the limit of %d", pr.Val, MaxShards)
+		}
+		if pr.Key == KnobShardBy && k.Shards == 0 {
+			return Knobs{}, nil, fmt.Errorf("spec: shard_by requires shards=K")
+		}
+	}
 	exclusive := 0
-	for _, on := range []bool{k.Parallel != "none", k.MRS > 0, k.Reservoir > 0} {
+	for _, on := range []bool{k.Parallel != "none", k.MRS > 0, k.Reservoir > 0, k.Shards > 0} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		return Knobs{}, nil, fmt.Errorf("spec: parallel, mrs and reservoir are mutually exclusive")
+		return Knobs{}, nil, fmt.Errorf("spec: parallel, mrs, reservoir and shards are mutually exclusive")
 	}
 	// Reject explicitly-written knobs the selected trainer would silently
 	// ignore (defaults are fine): baseline solvers have no IGD step/order
@@ -127,7 +156,7 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 	}
 	if k.Solver != "igd" {
 		if exclusive > 0 {
-			return Knobs{}, nil, fmt.Errorf("spec: solver=%s does not combine with parallel/mrs/reservoir", k.Solver)
+			return Knobs{}, nil, fmt.Errorf("spec: solver=%s does not combine with parallel/mrs/reservoir/shards", k.Solver)
 		}
 		if err := rejectExplicit("solver="+k.Solver, KnobOrder, KnobStep, KnobDecay); err != nil {
 			return Knobs{}, nil, err
@@ -140,6 +169,13 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 	}
 	if k.Reservoir > 0 {
 		if err := rejectExplicit("reservoir", KnobOrder, KnobTol); err != nil {
+			return Knobs{}, nil, err
+		}
+	}
+	// Sharded training runs exactly one worker per shard; an explicit
+	// workers knob would be silently ignored.
+	if k.Shards > 0 {
+		if err := rejectExplicit("shards", KnobWorkers); err != nil {
 			return Knobs{}, nil, err
 		}
 	}
@@ -180,6 +216,14 @@ func (k Knobs) OrderStrategy() core.OrderStrategy {
 	default:
 		return ordering.ShuffleOnce{}
 	}
+}
+
+// ShardStrategy maps the shard_by knob onto the engine's partitioners.
+func (k Knobs) ShardStrategy() engine.ShardStrategy {
+	if k.ShardBy == "hash" {
+		return engine.ShardHash
+	}
+	return engine.ShardRoundRobin
 }
 
 // ParallelMode maps the parallel knob onto §3.3's schemes.
@@ -236,6 +280,18 @@ func TrainIGD(task core.Task, k Knobs, view *engine.Table) (*Outcome, error) {
 		}
 		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
 			Method: fmt.Sprintf("IGD/Reservoir(buf=%d)", k.Reservoir)}, nil
+
+	case k.Shards > 0:
+		tr := &parallel.ShardedTrainer{
+			Task: task, Step: step, MaxEpochs: epochs, Shards: k.Shards,
+			Strategy: k.ShardStrategy(), RelTol: k.Tol, Order: k.OrderStrategy(), Seed: k.Seed,
+		}
+		res, err := tr.Run(view)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+			Method: fmt.Sprintf("IGD/Sharded×%d(%s)", k.Shards, tr.Strategy)}, nil
 
 	case k.Parallel != "none":
 		workers := k.Workers

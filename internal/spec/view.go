@@ -144,7 +144,7 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 	// must not get a full decoded copy forced on it here.
 	view := engine.NewMemTable(src.Name+"_view", out)
 	var builder *engine.MatBuilder
-	if int64(src.NumPages()+1)*engine.PageSize <= int64(engine.MaterializeLimitBytes) {
+	if src.Cacheable() {
 		builder = engine.NewMatBuilder(out)
 	}
 	row := make(engine.Tuple, n)

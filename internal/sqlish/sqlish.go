@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 
 	"bismarck/internal/baselines"
@@ -106,6 +107,8 @@ func (s *Session) Run(st *spec.Statement) error {
 		return nil
 	case spec.KindShowModels:
 		return s.showModels()
+	case spec.KindShowShards:
+		return s.showShards(st)
 	case spec.KindShowJobs, spec.KindWaitJob, spec.KindCancelJob:
 		return fmt.Errorf("sqlish: %v needs the job scheduler — connect to a bismarckd server", st.Kind)
 	case spec.KindTrain:
@@ -198,6 +201,62 @@ func (s *Session) showModels() error {
 		fmt.Fprintf(s.Out, "%-12s task=%s\n", base, taskName)
 	}
 	return nil
+}
+
+// showShards reports how a table's rows would partition across k shards
+// under each strategy — the skew diagnostic behind WITH shards=K. Both
+// strategies assign by row index alone, so the distributions come from
+// engine.ShardCounts without moving (or copying) any data; only the row
+// count is read under the table's shared lock. The count cap is
+// re-checked here because spec.Statement is exported — a programmatically
+// built statement must face the same limit the parser enforces.
+func (s *Session) showShards(st *spec.Statement) error {
+	if st.ShardCount > spec.MaxShards {
+		return fmt.Errorf("sqlish: SHOW SHARDS count %d exceeds the limit of %d", st.ShardCount, spec.MaxShards)
+	}
+	defer s.rlockName(st.From)()
+	tbl, err := s.Cat.Get(st.From)
+	if err != nil {
+		return err
+	}
+	k := int(st.ShardCount)
+	if k <= 0 {
+		k = runtime.NumCPU()
+	}
+	n := tbl.NumRows()
+	fmt.Fprintf(s.Out, "table %q: %d rows over %d shards\n", st.From, n, k)
+	for _, strat := range []engine.ShardStrategy{engine.ShardRoundRobin, engine.ShardHash} {
+		counts, err := engine.ShardCounts(n, k, strat)
+		if err != nil {
+			return err
+		}
+		minC, maxC := counts[0], counts[0]
+		for _, c := range counts {
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		fmt.Fprintf(s.Out, "%-10s %s (min %d, max %d)\n", strat, renderCounts(counts), minC, maxC)
+	}
+	return nil
+}
+
+// renderCounts formats per-shard row counts, eliding past 16 shards so a
+// huge K cannot flood the output with one unreadable line.
+func renderCounts(counts []int) string {
+	const show = 16
+	parts := make([]string, 0, show+1)
+	for i, c := range counts {
+		if i == show {
+			parts = append(parts, fmt.Sprintf("… +%d more", len(counts)-show))
+			break
+		}
+		parts = append(parts, fmt.Sprint(c))
+	}
+	return strings.Join(parts, " ")
 }
 
 // train runs a TO TRAIN statement end-to-end.
