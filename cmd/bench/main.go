@@ -85,15 +85,26 @@ type benchEntry struct {
 	RowsPerSec  float64 `json:"rows_per_sec"`
 }
 
+// servingEntry is one serving-plane measurement: predictions/sec through
+// serve.Plane at a given batch shape and client concurrency.
+type servingEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	PredsPerSec float64 `json:"preds_per_sec"`
+}
+
 type benchFile struct {
-	Generated string       `json:"generated"`
-	Note      string       `json:"note"`
-	Benches   []benchEntry `json:"benches"`
+	Generated string         `json:"generated"`
+	Note      string         `json:"note"`
+	Benches   []benchEntry   `json:"benches"`
+	Serving   []servingEntry `json:"serving"`
 	Speedups  struct {
 		DenseLRCachedVsDecode   float64 `json:"dense_lr_cached_vs_decode"`
 		SparseSVMCachedVsDecode float64 `json:"sparse_svm_cached_vs_decode"`
 		DenseLRSharded4wVs1w    float64 `json:"dense_lr_sharded_4w_vs_1w"`
 		SparseSVMSharded4wVs1w  float64 `json:"sparse_svm_sharded_4w_vs_1w"`
+		ServeBatch8VsPoint1c    float64 `json:"serve_batch8_vs_point_1c"`
+		ServePoint4cVs1c        float64 `json:"serve_point_4c_vs_1c"`
 	} `json:"speedups"`
 }
 
@@ -116,7 +127,9 @@ func writeBenchJSON(path string, seed int64) error {
 		Note: "one op = one full epoch of gradient steps; decode = per-row " +
 			"DecodeTuple (seed path), reuse = reusable-scratch decode, cached = " +
 			"materialized columnar row cache, sharded/Kw = K shared-nothing " +
-			"shard workers merged by row-weighted model averaging",
+			"shard workers merged by row-weighted model averaging; serving " +
+			"entries: preds/sec through the point-PREDICT plane (hot snapshot " +
+			"cache + admission gate) at Nc concurrent clients",
 	}
 	rows := map[string]float64{}
 	for _, c := range cases {
@@ -158,6 +171,38 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	if d := rows["sparse-svm/sharded/1w"]; d > 0 {
 		out.Speedups.SparseSVMSharded4wVs1w = rows["sparse-svm/sharded/4w"] / d
+	}
+
+	servingCases, err := experiments.ServingCases(seed)
+	if err != nil {
+		return err
+	}
+	preds := map[string]float64{}
+	for _, c := range servingCases {
+		c := c
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", c.Name, runErr)
+		}
+		ns := float64(r.NsPerOp())
+		pps := float64(c.Preds) / (ns / 1e9)
+		preds[c.Name] = pps
+		out.Serving = append(out.Serving, servingEntry{
+			Name: c.Name, NsPerOp: ns, PredsPerSec: pps,
+		})
+		fmt.Printf("%-24s %12.0f ns/op %35.0f preds/s\n", c.Name, ns, pps)
+	}
+	if d := preds["serve-lr/point/1c"]; d > 0 {
+		out.Speedups.ServeBatch8VsPoint1c = preds["serve-lr/batch8/1c"] / d
+		out.Speedups.ServePoint4cVs1c = preds["serve-lr/point/4c"] / d
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

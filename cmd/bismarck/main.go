@@ -4,6 +4,7 @@
 //
 //	bismarck -data ./db "SELECT vec, label FROM papers TO TRAIN svm WITH alpha=0.1 INTO myModel"
 //	bismarck -data ./db "SELECT * FROM papers TO PREDICT USING myModel"
+//	bismarck -data ./db "PREDICT (0.5, 1.25) USING myModel"   # inline scoring, no table
 //	bismarck -data ./db            # interactive REPL; statements end with ';'
 //	bismarck -connect 127.0.0.1:7077   # client for a running bismarckd
 //
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"bismarck/internal/engine"
+	"bismarck/internal/serve"
 	"bismarck/internal/server"
 	"bismarck/internal/spec"
 	"bismarck/internal/sqlish"
@@ -33,19 +35,23 @@ import (
 
 func main() {
 	var (
-		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
-		connect = flag.String("connect", "", "bismarckd address; statements run remotely instead of on -data")
-		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
-		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
+		dataDir    = flag.String("data", "./bismarck-data", "catalog directory")
+		connect    = flag.String("connect", "", "bismarckd address; statements run remotely instead of on -data")
+		epochs     = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
+		alpha      = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
+		serveCache = flag.Bool("serve-cache", true, "score inline PREDICT (...) USING m from a hot-model cache instead of reloading the model per statement")
 	)
 	flag.Parse()
 
 	if *connect != "" {
 		// The local-only flags would be silently meaningless remotely —
-		// session defaults live with the daemon (bismarckd -epochs/-alpha).
+		// session defaults live with the daemon (bismarckd -epochs/-alpha),
+		// and so does the serving plane the daemon-side cache lives in
+		// (bismarckd -serve-inflight/-serve-queue).
 		var misused []string
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "data" || f.Name == "epochs" || f.Name == "alpha" {
+			switch f.Name {
+			case "data", "epochs", "alpha", "serve-cache":
 				misused = append(misused, "-"+f.Name)
 			}
 		})
@@ -64,18 +70,30 @@ func main() {
 	}
 
 	sess := &sqlish.Session{Cat: cat, Out: os.Stdout, Epochs: *epochs, Alpha: *alpha}
+	// The local serving plane answers inline point-PREDICT from cached
+	// snapshots — repeated scoring in a REPL stops reloading the model
+	// every statement. No Guard: this process owns the catalog.
+	var plane *serve.Plane
+	if *serveCache {
+		plane = serve.New(cat, nil, serve.Options{})
+	}
 
 	status := 0
 	if flag.NArg() > 0 {
-		for _, stmt := range flag.Args() {
-			if err := sess.Exec(stmt); err != nil {
-				fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
-				status = 1
+		for _, arg := range flag.Args() {
+			for _, stmt := range spec.SplitStatements(arg) {
+				if err := execOne(sess, plane, stmt); err != nil {
+					fmt.Fprintf(os.Stderr, "bismarck: %v\n", err)
+					status = 1
+					break
+				}
+			}
+			if status != 0 {
 				break
 			}
 		}
 	} else {
-		repl(sess)
+		repl(sess, plane)
 	}
 	// Discard any in-flight shadow generation a failed statement left
 	// registered, then save even after a failed statement: earlier
@@ -96,9 +114,9 @@ func main() {
 }
 
 // repl runs the local interactive loop against the in-process session.
-func repl(sess *sqlish.Session) {
+func repl(sess *sqlish.Session, plane *serve.Plane) {
 	fmt.Println(`bismarck> statements end with ';'. Try SHOW TASKS; or SHOW TABLES; (Ctrl-D quits)`)
-	statementLoop(func(text string) { execAll(sess, text) })
+	statementLoop(func(text string) { execAll(sess, plane, text) })
 }
 
 // statementLoop reads statements from stdin, accumulating lines until a
@@ -130,8 +148,11 @@ func statementLoop(exec func(text string)) {
 			fmt.Println("  SELECT cols FROM t [WHERE ...] TO TRAIN task [WITH k=v,...] [COLUMN ...] [LABEL c] INTO model [ASYNC];")
 			fmt.Println("  SELECT cols FROM t TO PREDICT [WITH threshold=x] [INTO out] USING model;")
 			fmt.Println("  SELECT cols FROM t TO EVALUATE USING model;")
+			fmt.Println("  PREDICT (v1, v2, ...) USING model;            -- inline scoring, no table")
+			fmt.Println("  PREDICT VALUES (...), (...) USING model;      -- batched, one model generation")
 			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;  SHOW SHARDS t [k];")
 			fmt.Println("  SHOW JOBS;  WAIT JOB n;  CANCEL JOB n;    (with -connect)")
+			fmt.Println("  (SHOW TASKS marks tasks scorable by inline PREDICT with [point])")
 		default:
 			buf.WriteString(line)
 			buf.WriteByte('\n')
@@ -163,9 +184,9 @@ func statementLoop(exec func(text string)) {
 
 // execAll splits the buffered text into ';'-terminated statements
 // (respecting quoted strings and -- comments) and executes each.
-func execAll(sess *sqlish.Session, text string) {
+func execAll(sess *sqlish.Session, plane *serve.Plane, text string) {
 	for _, stmt := range spec.SplitStatements(text) {
-		if err := sess.Exec(stmt); err != nil {
+		if err := execOne(sess, plane, stmt); err != nil {
 			// A typed unknown-model error is a user mistake, not an engine
 			// failure: render it without the package prefix.
 			var ume *sqlish.UnknownModelError
@@ -176,6 +197,27 @@ func execAll(sess *sqlish.Session, text string) {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
+}
+
+// execOne runs a single statement: inline point-PREDICT through the local
+// serving plane when -serve-cache is on (hot snapshots, generation-
+// checked against the catalog), everything else through the session.
+func execOne(sess *sqlish.Session, plane *serve.Plane, stmt string) error {
+	st, err := spec.Parse(stmt)
+	if err != nil {
+		return err
+	}
+	if st.Kind == spec.KindPointPredict && plane != nil {
+		scores := make([]float64, len(st.Points))
+		if _, err := plane.Predict(st.Model, st.Points, scores); err != nil {
+			return err
+		}
+		for _, v := range scores {
+			fmt.Fprintf(sess.Out, "%.6g\n", v)
+		}
+		return nil
+	}
+	return sess.Run(st)
 }
 
 // runRemote speaks the wire protocol to a bismarckd. With args each is

@@ -15,6 +15,12 @@
 //	| job 1 queued: TRAIN svm INTO "m" (SHOW JOBS / WAIT JOB 1)
 //	OK
 //
+// Inline point-PREDICT is served from the hot-model cache, either as a
+// statement or pipelined many-at-a-time with "@<id> <stmt>" frames
+// (answered "@<id> OK <scores>" / "@<id> ERR <msg>", out of order). The
+// -serve-inflight / -serve-queue flags size its admission control: past
+// the queue the daemon sheds with "ERR busy: ... retry_after_ms=<hint>".
+//
 // On SIGINT/SIGTERM the daemon stops accepting, cancels still-queued
 // jobs, lets running jobs finish and commit, and saves the catalog before
 // exiting.
@@ -39,15 +45,17 @@ func main() {
 		workers = flag.Int("workers", 0, "async TRAIN worker pool size (0 = NumCPU, max 8)")
 		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
 		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
+		serveIn = flag.Int("serve-inflight", 0, "concurrent point-PREDICT scoring slots (0 = GOMAXPROCS)")
+		serveQ  = flag.Int("serve-queue", 0, "point-PREDICT waiters beyond the slots before shedding with ERR busy (0 = 4x slots)")
 	)
 	flag.Parse()
-	if err := run(*dataDir, *listen, *workers, *epochs, *alpha); err != nil {
+	if err := run(*dataDir, *listen, *workers, *epochs, *alpha, *serveIn, *serveQ); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarckd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, listen string, workers, epochs int, alpha float64) error {
+func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, serveQ int) error {
 	cat, err := engine.OpenFileCatalog(dataDir, 0)
 	if err != nil {
 		return err
@@ -65,7 +73,8 @@ func run(dataDir, listen string, workers, epochs int, alpha float64) error {
 			fmt.Printf("bismarckd: recovery: swept %s\n", f)
 		}
 	}
-	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha})
+	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha,
+		ServeInflight: serveIn, ServeQueue: serveQ})
 	srv := server.NewTCPServer(mgr)
 
 	lis, err := net.Listen("tcp", listen)

@@ -1,0 +1,64 @@
+package engine
+
+import "sync/atomic"
+
+// Per-name generation counters: the serving plane's lock-free read hook.
+//
+// Every mutation that changes which rows a table name resolves to — Create,
+// Drop, and the in-memory retarget of a committed Swap — bumps the name's
+// counter. A reader that captured a decoded snapshot of the table (the
+// serve package's hot-model cache) revalidates it with one atomic load and
+// an integer compare, taking neither the catalog mutex nor any per-name RW
+// lock: equal generation means the snapshot is still the published table,
+// unequal means a newer generation committed and the snapshot must be
+// refilled. Invalidation is therefore by compare, not broadcast — a swap
+// does not know or care who holds snapshots.
+//
+// Counter objects are stable for the life of the catalog: once a name has a
+// counter it is never removed (a Drop bumps it, so a holder of the handle
+// observes the drop), which is what makes handing out *atomic.Uint64
+// pointers safe. The map is bounded by the set of names ever registered in
+// this process — counters are only created by mutations of real tables and
+// by GenHandle on existing tables, never by lookups of arbitrary names.
+
+// bumpGen advances the name's generation counter, creating it at first
+// mutation. Callers hold whatever lock the mutation itself requires; the
+// counter needs none of its own.
+func (c *Catalog) bumpGen(name string) {
+	c.genOf(name).Add(1)
+}
+
+// genOf returns the name's counter, creating it on first use.
+func (c *Catalog) genOf(name string) *atomic.Uint64 {
+	if v, ok := c.gens.Load(name); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := c.gens.LoadOrStore(name, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
+}
+
+// Generation returns the name's current generation without taking any
+// lock. Zero means the name has not been mutated since this catalog was
+// opened (tables loaded by OpenFileCatalog start at a nonzero generation,
+// since registration itself is a mutation).
+func (c *Catalog) Generation(name string) uint64 {
+	if v, ok := c.gens.Load(name); ok {
+		return v.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// GenHandle returns the name's stable generation counter for lock-free
+// polling, or nil when the name is not a registered table (handles are
+// only minted for real tables so unknown-name probes cannot grow the map).
+// The returned pointer stays valid — and keeps counting — across any
+// number of swaps, drops, and re-creates of the name.
+func (c *Catalog) GenHandle(name string) *atomic.Uint64 {
+	c.mu.Lock()
+	_, ok := c.tables[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return c.genOf(name)
+}

@@ -171,6 +171,18 @@ func (c *Catalog) Swap(finalNames, shadowNames, dropNames []string) error {
 			}
 		}
 	}
+	// Generation bumps come strictly after the retarget, while mu is still
+	// held: a lock-free snapshot holder that observes the new generation
+	// number must find the new table behind the name, never the old one —
+	// the bump is the swap's linearization point for generation readers.
+	// (Holders that race ahead of the bump briefly serve the previous
+	// generation, which is exactly the documented reader semantics.)
+	for _, f := range finalNames {
+		c.bumpGen(f)
+	}
+	for _, dn := range dropNames {
+		c.bumpGen(dn)
+	}
 	c.mu.Unlock()
 
 	if c.dir == "" {

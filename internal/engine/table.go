@@ -432,6 +432,10 @@ type Catalog struct {
 	// marker — a live process surviving a post-commit rename failure can
 	// never write a catalog.json that forgets the roll-forward is owed.
 	pending map[string]string
+	// gens holds the per-name generation counters (name → *atomic.Uint64)
+	// behind Generation/GenHandle — see generation.go. A sync.Map because
+	// the whole point is that readers poll it without touching mu.
+	gens sync.Map
 
 	// Hooks instruments the swap protocol's crash windows for
 	// fault-injection tests. Zero value: no instrumentation.
@@ -528,6 +532,7 @@ func (c *Catalog) create(name string, schema Schema, trusted bool) (*Table, erro
 		}
 	}
 	c.tables[name] = t
+	c.bumpGen(name)
 	return t, nil
 }
 
@@ -577,6 +582,7 @@ func (c *Catalog) Drop(name string) error {
 	}
 	delete(c.tables, name)
 	delete(c.pending, name)
+	c.bumpGen(name)
 	closeErr := t.Close()
 	var rmErr error
 	if c.dir != "" {

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+	"bismarck/internal/serve"
+	"bismarck/internal/sqlish"
+)
+
+// ServingCase is one serving-plane throughput measurement: C concurrent
+// clients scoring inline point-PREDICT batches against one hot model
+// through serve.Plane — admission gate, snapshot cache, zero-alloc
+// scoring, the whole steady-state path. Preds is the number of
+// predictions one Run makes, for preds/sec reporting.
+type ServingCase struct {
+	Name  string // e.g. "serve-lr/batch8/4c"
+	Preds int
+	Run   func() error
+}
+
+// ServingRoundsPerClient is how many Predict calls each simulated client
+// makes per Run, sized so one op is milliseconds.
+const ServingRoundsPerClient = 2000
+
+// ServingCases builds the serving-throughput family over a dense LR model
+// (Forest-like, d=54): {single point, 8-point batch} × {1, 4} concurrent
+// clients. The model is trained once and the cache warmed before the
+// first Run, so every measurement is the steady-state serving path.
+func ServingCases(seed int64) ([]ServingCase, error) {
+	cat := engine.NewCatalog()
+	src := data.Forest(4000, seed)
+	tbl, err := cat.Create("papers", src.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.CopyTo(tbl); err != nil {
+		return nil, err
+	}
+	sess := &sqlish.Session{Cat: cat, Out: io.Discard}
+	if err := sess.Exec(`SELECT vec, label FROM papers TO TRAIN lr
+		WITH alpha=0.1, epochs=3, seed=7 INTO m;`); err != nil {
+		return nil, err
+	}
+	// Queue sized far above the client count: the family measures
+	// throughput, not shed policy, so nothing should ever answer busy.
+	plane := serve.New(cat, nil, serve.Options{Inflight: 16, MaxQueue: 1 << 16})
+
+	probe := make([]float64, 54)
+	for i := range probe {
+		probe[i] = float64(i%7) / 7
+	}
+	single := [][]float64{probe}
+	batch8 := make([][]float64, 8)
+	for i := range batch8 {
+		batch8[i] = probe
+	}
+	warm := make([]float64, len(batch8))
+	if _, err := plane.Predict("m", batch8, warm); err != nil {
+		return nil, err
+	}
+
+	var cases []ServingCase
+	for _, clients := range []int{1, 4} {
+		for _, shape := range []struct {
+			name   string
+			points [][]float64
+		}{
+			{"point", single},
+			{"batch8", batch8},
+		} {
+			clients, shape := clients, shape
+			cases = append(cases, ServingCase{
+				Name:  fmt.Sprintf("serve-lr/%s/%dc", shape.name, clients),
+				Preds: clients * ServingRoundsPerClient * len(shape.points),
+				Run: func() error {
+					errs := make([]error, clients)
+					var wg sync.WaitGroup
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							scores := make([]float64, len(shape.points))
+							for r := 0; r < ServingRoundsPerClient; r++ {
+								if _, err := plane.Predict("m", shape.points, scores); err != nil {
+									errs[c] = err
+									return
+								}
+							}
+						}(c)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			})
+		}
+	}
+	return cases, nil
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/sqlish"
+)
+
+// entry is one cached model pinned to the catalog generation it was
+// decoded under. handle is the name's live generation counter
+// (engine.Catalog.GenHandle) — the pointer is stored here, not re-fetched,
+// so validity is one atomic load away with no map traffic and no
+// string-key interface boxing on the hot path.
+type entry struct {
+	snap   *sqlish.ModelSnapshot
+	gen    uint64
+	handle *atomic.Uint64
+}
+
+// valid reports whether the entry still matches the catalog: any TRAIN
+// (swap-retarget), DROP, or re-CREATE of the name bumps the counter and
+// every cached reader notices on its next lookup — invalidation without
+// broadcast.
+func (e *entry) valid() bool { return e.gen == e.handle.Load() }
+
+// epoch is one immutable published cache state. Fills and evictions build
+// a new map and swap the pointer; readers only ever load it.
+type epoch map[string]*entry
+
+// Cache holds hot decoded models for the serving plane. Readers are
+// lock-free (one atomic pointer load, one map lookup, one atomic counter
+// compare); only the fill path — a cache miss decoding a model from its
+// tables — takes the cache mutex, and it holds it as a single-flight
+// guard so a thundering herd on a cold name decodes once.
+type Cache struct {
+	cat  *engine.Catalog
+	fill *sqlish.Session // fill-path decoder; guarded by mu
+	mu   sync.Mutex      // serializes fills and epoch publication
+	cur  atomic.Pointer[epoch]
+
+	hits  atomic.Uint64
+	fills atomic.Uint64
+}
+
+// NewCache builds an empty cache over the catalog. guard is the shared
+// cross-session name-lock registry (may be nil for an exclusively owned
+// catalog); the fill path locks model names through it like any scoring
+// statement.
+func NewCache(cat *engine.Catalog, guard sqlish.Guard) *Cache {
+	c := &Cache{
+		cat:  cat,
+		fill: &sqlish.Session{Cat: cat, Out: io.Discard, Guard: guard},
+	}
+	c.cur.Store(&epoch{})
+	return c
+}
+
+// Lookup returns the cached snapshot for the model if one is present and
+// still matches the catalog generation. This is the hot path: no locks,
+// no allocations.
+func (c *Cache) Lookup(model string) (*sqlish.ModelSnapshot, uint64, bool) {
+	e, ok := (*c.cur.Load())[model]
+	if !ok || !e.valid() {
+		return nil, 0, false
+	}
+	c.hits.Add(1)
+	return e.snap, e.gen, true
+}
+
+// Get returns the model's snapshot, filling the cache on a miss. A fill
+// decodes the model under its name's read lock (LoadSnapshot) and pins
+// the result to the generation observed inside that lock window. Filling
+// a name that does not exist evicts any stale entry and returns
+// *sqlish.UnknownModelError — a dropped model is never served from cache.
+func (c *Cache) Get(model string) (*sqlish.ModelSnapshot, uint64, error) {
+	if snap, gen, ok := c.Lookup(model); ok {
+		return snap, gen, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Double-check under the fill lock: a racing fill may have published.
+	if snap, gen, ok := c.Lookup(model); ok {
+		return snap, gen, nil
+	}
+	snap, gen, err := c.fill.LoadSnapshot(model)
+	if err != nil {
+		c.evictLocked(model)
+		return nil, 0, err
+	}
+	c.fills.Add(1)
+	handle := c.cat.GenHandle(model)
+	if handle == nil || handle.Load() != gen {
+		// The name mutated (or vanished) between decode and here. The
+		// snapshot is still the consistent read we made under the lock —
+		// serve it once, but do not publish a dead entry.
+		return snap, gen, nil
+	}
+	c.publishLocked(model, &entry{snap: snap, gen: gen, handle: handle})
+	return snap, gen, nil
+}
+
+// publishLocked swaps in a new epoch with the entry added (copy-on-write;
+// caller holds mu).
+func (c *Cache) publishLocked(model string, e *entry) {
+	old := *c.cur.Load()
+	next := make(epoch, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[model] = e
+	c.cur.Store(&next)
+}
+
+// evictLocked swaps in a new epoch without the name (caller holds mu).
+func (c *Cache) evictLocked(model string) {
+	old := *c.cur.Load()
+	if _, ok := old[model]; !ok {
+		return
+	}
+	next := make(epoch, len(old))
+	for k, v := range old {
+		if k != model {
+			next[k] = v
+		}
+	}
+	c.cur.Store(&next)
+}
+
+// Stats reports cumulative hit and fill counts (monitoring/bench only).
+func (c *Cache) Stats() (hits, fills uint64) {
+	return c.hits.Load(), c.fills.Load()
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// BusyError is the typed load-shedding rejection: the serving queue is
+// full. RetryAfterMS is the plane's estimate (from the service-time EWMA
+// and current backlog) of when capacity frees up; clients should back off
+// at least that long. The server renders it as "ERR busy ..." so clients
+// can distinguish shed load from real failures.
+type BusyError struct {
+	RetryAfterMS int64
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("busy: serving queue full, retry_after_ms=%d", e.RetryAfterMS)
+}
+
+// Gate is the admission controller: Inflight concurrent scoring slots and
+// a bounded count of waiters. Admission is decided synchronously —
+// Admit never blocks — so a connection reader can shed load before
+// spawning any per-request work; only Wait blocks, and only for requests
+// already admitted. This bounds both goroutines and memory under overload.
+type Gate struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+
+	// ewmaNS is an exponentially-weighted moving average of observed
+	// service times, feeding the retry-after hint. Updated racily on
+	// purpose: it is a hint, and a lock here would sit on the hot path.
+	ewmaNS atomic.Int64
+}
+
+// NewGate builds a gate with the given slot and queue sizes. inflight
+// defaults to GOMAXPROCS, maxQueue to 4× inflight.
+func NewGate(inflight, maxQueue int) *Gate {
+	if inflight <= 0 {
+		inflight = runtime.GOMAXPROCS(0)
+	}
+	if maxQueue <= 0 {
+		maxQueue = 4 * inflight
+	}
+	return &Gate{
+		slots:    make(chan struct{}, inflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Ticket is one admitted request's claim on the gate. Call Wait to block
+// until a scoring slot is free, then Release when done. A Ticket is a
+// value (no allocation per request) and must not be copied after Wait.
+type Ticket struct {
+	g      *Gate
+	inQ    bool
+	booked bool
+	start  int64 // nanotime via time.Now().UnixNano(), set by Wait
+}
+
+// Admit decides synchronously whether this request may proceed. A free
+// slot admits immediately; otherwise the request joins the wait queue if
+// it has room, and is rejected with *BusyError when it does not.
+func (g *Gate) Admit() (Ticket, error) {
+	select {
+	case g.slots <- struct{}{}:
+		return Ticket{g: g, booked: true}, nil
+	default:
+	}
+	if q := g.queued.Add(1); q > g.maxQueue {
+		g.queued.Add(-1)
+		return Ticket{}, &BusyError{RetryAfterMS: g.retryAfterMS()}
+	}
+	return Ticket{g: g, inQ: true}, nil
+}
+
+// Wait blocks until the admitted request holds a scoring slot and starts
+// its service-time clock.
+func (t *Ticket) Wait() {
+	if t.inQ {
+		t.g.slots <- struct{}{}
+		t.g.queued.Add(-1)
+		t.inQ = false
+		t.booked = true
+	}
+	t.start = time.Now().UnixNano()
+}
+
+// Release frees the slot and feeds the observed service time into the
+// EWMA behind the retry-after hint.
+func (t *Ticket) Release() {
+	if !t.booked {
+		return
+	}
+	t.booked = false
+	t.g.observe(time.Now().UnixNano() - t.start)
+	<-t.g.slots
+}
+
+// observe folds one service time into the EWMA (α = 1/8, integer math).
+func (g *Gate) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	old := g.ewmaNS.Load()
+	if old == 0 {
+		g.ewmaNS.Store(ns)
+		return
+	}
+	g.ewmaNS.Store(old + (ns-old)/8)
+}
+
+// retryAfterMS estimates how long a shed client should back off: the
+// backlog ahead of it (all slots plus all waiters) times the average
+// service time, divided across the slots draining it. At least 1ms so
+// clients never busy-loop on a zero hint.
+func (g *Gate) retryAfterMS() int64 {
+	ewma := g.ewmaNS.Load()
+	backlog := g.queued.Load() + int64(cap(g.slots))
+	ms := ewma * backlog / int64(cap(g.slots)) / int64(time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Queued reports the current number of admitted waiters (monitoring).
+func (g *Gate) Queued() int64 { return g.queued.Load() }

@@ -1,0 +1,121 @@
+// Package serve is the high-throughput serving plane: it answers inline
+// point-PREDICT statements from hot decoded models instead of re-reading
+// coefficient tables per statement.
+//
+// The plane is three mechanisms stacked so the steady-state path touches
+// no locks and allocates nothing:
+//
+//   - Cache pins decoded model snapshots (sqlish.ModelSnapshot) to the
+//     catalog generation observed while loading them. Lookups read an
+//     atomic epoch pointer — no per-name read/write locks — and validity
+//     is a single atomic compare against the name's generation counter
+//     (engine.Catalog.GenHandle), so TRAIN and DROP invalidate by
+//     bumping a counter, never by broadcasting to readers.
+//   - Gate is admission control: a fixed number of scoring slots plus a
+//     bounded wait queue. Beyond the queue the plane sheds load with a
+//     typed BusyError carrying a retry-after hint, so an overloaded
+//     server degrades into fast rejections instead of goroutine pileups.
+//   - Plane ties them together and scores a whole statement batch
+//     against ONE snapshot, which is what makes a batched response
+//     internally consistent with exactly one model generation even while
+//     a concurrent TRAIN swaps the name underneath.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"bismarck/internal/engine"
+	"bismarck/internal/spec"
+	"bismarck/internal/sqlish"
+)
+
+// Options sizes the serving plane.
+type Options struct {
+	// Inflight is the number of concurrent scoring slots (default:
+	// number of CPUs via the Gate's own default).
+	Inflight int
+	// MaxQueue is how many admitted requests may wait for a slot before
+	// the plane starts shedding (default: 4× Inflight).
+	MaxQueue int
+}
+
+// Plane is the serving plane for one catalog. It is safe for concurrent
+// use by any number of connections.
+type Plane struct {
+	cache *Cache
+	gate  *Gate
+	pool  sync.Pool // *sqlish.PointScratch, one per in-flight scorer
+}
+
+// New builds a serving plane over the catalog. guard is the cross-session
+// name-lock registry shared with the statement sessions (the cache's fill
+// path takes the model's read lock through it, exactly like a PREDICT
+// statement would); nil means the caller owns the catalog exclusively.
+func New(cat *engine.Catalog, guard sqlish.Guard, opt Options) *Plane {
+	p := &Plane{
+		cache: NewCache(cat, guard),
+		gate:  NewGate(opt.Inflight, opt.MaxQueue),
+	}
+	p.pool.New = func() any { return new(sqlish.PointScratch) }
+	return p
+}
+
+// Gate exposes the plane's admission gate (the server reports queue
+// pressure from it).
+func (p *Plane) Gate() *Gate { return p.gate }
+
+// Cache exposes the plane's snapshot cache.
+func (p *Plane) Cache() *Cache { return p.cache }
+
+// Predict scores every tuple of points against the named model and writes
+// the raw scores into scores[:len(points)], returning the model generation
+// that produced them. The whole batch is scored against one cache entry —
+// one generation — looked up once; a TRAIN committing mid-batch changes
+// nothing already in flight.
+//
+// The call admits through the gate first: an overloaded plane returns
+// *BusyError (with a retry-after hint) without touching the cache. A
+// model that does not exist returns *sqlish.UnknownModelError. On the
+// steady-state path — cache hit, warm scratch — Predict takes no
+// per-name locks and performs zero heap allocations.
+func (p *Plane) Predict(model string, points [][]float64, scores []float64) (uint64, error) {
+	tk, err := p.gate.Admit()
+	if err != nil {
+		return 0, err
+	}
+	tk.Wait()
+	defer tk.Release()
+	return p.Score(model, points, scores)
+}
+
+// Score is Predict without the admission step: the caller already holds a
+// gate Ticket between Wait and Release. The pipelined server path admits
+// synchronously in its connection reader — shed requests answer "busy"
+// without spawning anything — and only admitted frames reach Score from a
+// worker goroutine.
+func (p *Plane) Score(model string, points [][]float64, scores []float64) (uint64, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("serve: empty point batch")
+	}
+	if len(scores) < len(points) {
+		return 0, fmt.Errorf("serve: scores buffer holds %d, batch has %d", len(scores), len(points))
+	}
+	if err := spec.ValidatePoints(points); err != nil {
+		return 0, err
+	}
+	snap, gen, err := p.cache.Get(model)
+	if err != nil {
+		return 0, err
+	}
+	sc := p.pool.Get().(*sqlish.PointScratch)
+	defer p.pool.Put(sc)
+	for i, vals := range points {
+		s, err := sc.Score(snap, vals)
+		if err != nil {
+			return 0, err
+		}
+		scores[i] = s
+	}
+	return gen, nil
+}

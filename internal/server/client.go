@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 
 	"bismarck/internal/spec"
@@ -103,6 +104,77 @@ func (c *Client) ReadResponse(body *strings.Builder) (int, error) {
 		return n, err
 	}
 	return n, fmt.Errorf("server: connection closed mid-response")
+}
+
+// Frame is one pipelined point-PREDICT response: the echoing id plus
+// either the batch's scores or the server's error line (Err != "").
+type Frame struct {
+	ID     uint64
+	Scores []float64
+	Err    string
+}
+
+// SendFrame pipelines one inline point-PREDICT without waiting for the
+// response; any number may be in flight, matched back by id via
+// ReadFrame. The statement must be a single line (frames have no
+// continuation form) and ids must be >= 1. Do not interleave Exec with
+// unread frames on one client — frame responses arriving inside Exec's
+// response window would desync it; pipelining clients dedicate the
+// connection to frames (or drain frames first).
+func (c *Client) SendFrame(id uint64, stmt string) error {
+	if id == 0 {
+		return fmt.Errorf("server: frame ids start at 1 (0 is the server's unattributable-error id)")
+	}
+	s := oneLine(stmt)
+	if s == "" {
+		return fmt.Errorf("server: empty frame statement")
+	}
+	_, err := fmt.Fprintf(c.conn, "%s%d %s\n", FramePrefix, id, s)
+	return err
+}
+
+// ReadFrame consumes one pipelined response line. Responses arrive in
+// completion order, not send order — match by Frame.ID. A server-reported
+// failure is returned in Frame.Err (not as a Go error, so the caller can
+// still attribute it to its id); the error return is for transport or
+// framing problems only.
+func (c *Client) ReadFrame() (Frame, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Frame{}, err
+		}
+		return Frame{}, fmt.Errorf("server: connection closed before frame response")
+	}
+	line := c.sc.Text()
+	rest, ok := strings.CutPrefix(line, FramePrefix)
+	if !ok {
+		return Frame{}, fmt.Errorf("server: expected a frame response, got %q", line)
+	}
+	idStr, payload, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Frame{}, fmt.Errorf("server: malformed frame response %q", line)
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return Frame{}, fmt.Errorf("server: malformed frame response id in %q: %v", line, err)
+	}
+	f := Frame{ID: id}
+	switch {
+	case payload == TermOK:
+	case strings.HasPrefix(payload, TermOK+" "):
+		for _, field := range strings.Fields(strings.TrimPrefix(payload, TermOK+" ")) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return Frame{}, fmt.Errorf("server: non-numeric score %q in frame %d", field, id)
+			}
+			f.Scores = append(f.Scores, v)
+		}
+	case strings.HasPrefix(payload, TermErr+" "):
+		f.Err = strings.TrimPrefix(payload, TermErr+" ")
+	default:
+		return Frame{}, fmt.Errorf("server: malformed frame payload %q", line)
+	}
+	return f, nil
 }
 
 // Close closes the connection.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -26,6 +27,25 @@ import (
 // one terminator line: "OK" or "ERR <one-line message>". The prefix makes
 // the framing unambiguous no matter what a statement prints. On connect
 // the server sends a banner body line and an OK before reading anything.
+//
+// Pipelined frames multiplex inline point-PREDICT over the same
+// connection: a line "@<id> PREDICT (1.5, 2) USING m" — recognized only
+// while no statement is buffered, so a '@' inside a multi-line statement
+// stays payload — is answered out of order by exactly one line,
+// "@<id> OK <score> <score> ..." or "@<id> ERR <message>". Ids are
+// client-chosen (>= 1; the server answers "@0 ERR ..." to frames it
+// cannot attribute) and clients keep any number in flight:
+//
+//	C: @1 PREDICT (0.5, 1.5) USING m
+//	C: @2 PREDICT VALUES (1, 2), (3, 4) USING m
+//	S: @2 OK 4.97 11.2
+//	S: @1 OK 3.12
+//
+// Frames carry point-PREDICT only (anything else belongs on the line
+// protocol), are admission-controlled — an overloaded server answers
+// "@<id> ERR busy: ... retry_after_ms=<hint>" synchronously instead of
+// queueing unboundedly — and a batched frame is always scored against a
+// single model generation.
 
 // maxStatementBytes caps one connection's accumulated statement buffer.
 const maxStatementBytes = 1 << 20
@@ -38,6 +58,8 @@ const (
 	TermOK = "OK"
 	// TermErr (plus a space and the message) terminates a failed one.
 	TermErr = "ERR"
+	// FramePrefix starts a pipelined request or response frame.
+	FramePrefix = "@"
 )
 
 // TCPServer serves a Manager over a listener, one session per connection.
@@ -141,7 +163,21 @@ func (s *TCPServer) handle(conn net.Conn) {
 	sess := s.m.NewSession(&body)
 	sess.Shutdown = s.closing
 
+	// wmu serializes whole responses onto the connection: a statement
+	// response (body + terminator + flush) is written in one critical
+	// section, a frame response in another, so concurrent frame workers
+	// interleave with the line protocol only at response granularity and
+	// the client-side framing never tears.
+	var wmu sync.Mutex
+	// cwg tracks this connection's in-flight frame workers; the handler
+	// waits them out before the deferred close so no worker writes to a
+	// freed connection.
+	var cwg sync.WaitGroup
+	defer cwg.Wait()
+
 	respond := func(err error) bool {
+		wmu.Lock()
+		defer wmu.Unlock()
 		// Body first (prefixed), then the terminator, then flush: the
 		// client reads to the terminator and never guesses at boundaries.
 		if body.Len() > 0 {
@@ -161,6 +197,12 @@ func (s *TCPServer) handle(conn net.Conn) {
 		}
 		return w.Flush() == nil
 	}
+	writeFrame := func(id uint64, payload string) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		fmt.Fprintf(w, "%s%d %s\n", FramePrefix, id, payload)
+		w.Flush()
+	}
 
 	fmt.Fprintf(&body, "bismarckd ready — statements end with ';'\n")
 	if !respond(nil) {
@@ -173,6 +215,12 @@ func (s *TCPServer) handle(conn net.Conn) {
 	var term spec.TermScanner
 	for sc.Scan() {
 		line := sc.Text()
+		// A pipelined frame is only a frame while no statement is being
+		// accumulated: mid-statement, a leading '@' is statement payload.
+		if buf.Len() == 0 && strings.HasPrefix(line, FramePrefix) {
+			s.serveFrame(line, writeFrame, &cwg)
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		term.Write(line)
@@ -227,4 +275,73 @@ func (s *TCPServer) handle(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// serveFrame handles one pipelined request line "@<id> <stmt>". Parsing
+// and admission happen synchronously in the connection's reader — a shed
+// or malformed frame is answered without spawning anything, which bounds
+// the per-connection goroutine count by the gate's inflight+queue budget
+// no matter how fast a client pipelines.
+func (s *TCPServer) serveFrame(line string, write func(id uint64, payload string), cwg *sync.WaitGroup) {
+	id, stmt, err := parseFrameRequest(line)
+	if err != nil {
+		// id 0 is reserved for exactly this: a frame the server cannot
+		// attribute to a client-chosen id.
+		write(0, TermErr+" "+oneLine(err.Error()))
+		return
+	}
+	st, err := spec.Parse(stmt)
+	if err != nil {
+		write(id, TermErr+" "+oneLine(err.Error()))
+		return
+	}
+	if st.Kind != spec.KindPointPredict {
+		write(id, fmt.Sprintf("%s frames carry inline point-PREDICT only, not %v — use the line protocol for other statements", TermErr, st.Kind))
+		return
+	}
+	tk, err := s.m.plane.Gate().Admit()
+	if err != nil {
+		write(id, TermErr+" "+oneLine(err.Error()))
+		return
+	}
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		tk.Wait()
+		defer tk.Release()
+		scores := make([]float64, len(st.Points))
+		if _, err := s.m.plane.Score(st.Model, st.Points, scores); err != nil {
+			write(id, TermErr+" "+oneLine(err.Error()))
+			return
+		}
+		var b strings.Builder
+		b.WriteString(TermOK)
+		for _, v := range scores {
+			fmt.Fprintf(&b, " %.6g", v)
+		}
+		write(id, b.String())
+	}()
+}
+
+// parseFrameRequest splits "@<id> <stmt>" into its id and statement text.
+// Ids are client-chosen and must be >= 1; the statement must fit the one
+// line (frames have no continuation form).
+func parseFrameRequest(line string) (uint64, string, error) {
+	rest := strings.TrimPrefix(line, FramePrefix)
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, "", fmt.Errorf("server: malformed frame: want %s<id> <point-PREDICT statement>", FramePrefix)
+	}
+	id, err := strconv.ParseUint(rest[:sp], 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("server: malformed frame id %q: %v", rest[:sp], err)
+	}
+	if id == 0 {
+		return 0, "", fmt.Errorf("server: frame id 0 is reserved for unattributable errors; use ids >= 1")
+	}
+	stmt := strings.TrimSpace(rest[sp+1:])
+	if stmt == "" {
+		return 0, "", fmt.Errorf("server: empty frame %d: want %s<id> <point-PREDICT statement>", id, FramePrefix)
+	}
+	return id, stmt, nil
 }

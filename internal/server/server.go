@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"bismarck/internal/engine"
+	"bismarck/internal/serve"
 	"bismarck/internal/spec"
 	"bismarck/internal/sqlish"
 )
@@ -44,6 +45,12 @@ type Options struct {
 	// session (same meaning as the bismarck CLI flags).
 	Epochs int
 	Alpha  float64
+	// ServeInflight / ServeQueue size the point-PREDICT serving plane:
+	// concurrent scoring slots and the bounded wait queue beyond which
+	// the plane sheds load with "ERR busy" (0 = the plane's defaults,
+	// GOMAXPROCS and 4× that).
+	ServeInflight int
+	ServeQueue    int
 }
 
 // Hooks instruments the manager for deterministic concurrency tests.
@@ -61,6 +68,7 @@ type Manager struct {
 	cat   *engine.Catalog
 	locks *NameLocks
 	sched *scheduler
+	plane *serve.Plane
 	opts  Options
 
 	// Hooks must be set before the first session runs a statement.
@@ -83,8 +91,17 @@ func NewManager(cat *engine.Catalog, opts Options) *Manager {
 	}
 	m := &Manager{cat: cat, locks: NewNameLocks(), opts: opts}
 	m.sched = newScheduler(m, opts.Workers, opts.QueueDepth, opts.JobHistory)
+	// The plane shares the manager's lock registry: its cache fills take a
+	// model's read lock exactly like a PREDICT statement, so a TRAIN
+	// holding the write lock across its save window is still decisive.
+	m.plane = serve.New(cat, m.locks, serve.Options{
+		Inflight: opts.ServeInflight, MaxQueue: opts.ServeQueue})
 	return m
 }
+
+// Plane exposes the serving plane (the TCP layer's pipelined frames score
+// through it directly).
+func (m *Manager) Plane() *serve.Plane { return m.plane }
 
 // Catalog exposes the shared catalog (the daemon saves it at shutdown).
 func (m *Manager) Catalog() *engine.Catalog { return m.cat }
@@ -209,6 +226,18 @@ func (s *Session) Run(st *spec.Statement, text string) error {
 				job.ID, job.ID)
 		default:
 			fmt.Fprintf(s.out, "job %d canceled\n", job.ID)
+		}
+		return nil
+	case st.Kind == spec.KindPointPredict:
+		// Inline scoring goes through the serving plane: hot cached
+		// snapshots under admission control, instead of sqlish's per-
+		// statement model reload. Read-only — no catalog checkpoint.
+		scores := make([]float64, len(st.Points))
+		if _, err := s.m.plane.Predict(st.Model, st.Points, scores); err != nil {
+			return err
+		}
+		for _, v := range scores {
+			fmt.Fprintf(s.out, "%.6g\n", v)
 		}
 		return nil
 	}

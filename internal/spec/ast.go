@@ -66,6 +66,10 @@ const (
 	// KindShowShards is SHOW SHARDS <table> [k]: report how the table's
 	// rows would partition across k shards under each strategy.
 	KindShowShards
+	// KindPointPredict is the inline scoring form: PREDICT (v1, v2, ...)
+	// USING model, or the batched PREDICT VALUES (...), (...) USING model.
+	// No FROM table, no view — the feature tuples are in the statement.
+	KindPointPredict
 )
 
 // String implements fmt.Stringer.
@@ -91,6 +95,8 @@ func (k Kind) String() string {
 		return "CANCEL JOB"
 	case KindShowShards:
 		return "SHOW SHARDS"
+	case KindPointPredict:
+		return "PREDICT"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -202,6 +208,9 @@ type Statement struct {
 	// ShardCount is the optional shard count of SHOW SHARDS (0 = the
 	// session's default, typically the core count).
 	ShardCount int64
+	// Points are the inline feature tuples of KindPointPredict, one slice
+	// per scored tuple, all the same arity (ValidatePoints enforces it).
+	Points [][]float64
 }
 
 // WithValue returns the value of a WITH key, if present.

@@ -37,6 +37,21 @@ var seedStatements = []string{
 	"SELECT * FROM t TO TRAIN svm WITH shards=2, shard_by=hash INTO m ASYNC;",
 	"SHOW SHARDS forest;",
 	"SHOW SHARDS 'my table' 8;",
+	// Inline point-PREDICT grammar.
+	"PREDICT (1.5, 2.5) USING m;",
+	"PREDICT (1) USING 'my model';",
+	"predict (-0.5, +3, 1e-2) using m",
+	"PREDICT VALUES (1, 2), (3, 4), (5, 6) USING m;",
+	"PREDICT VALUES (0.5) USING m;",
+	// Point-PREDICT near-misses that must error cleanly.
+	"PREDICT () USING m;",
+	"PREDICT VALUES () USING m;",
+	"PREDICT VALUES (1, 2), (3) USING m;",
+	"PREDICT (1, 2);",
+	"PREDICT USING m;",
+	"PREDICT ('a', 'b') USING m;",
+	"PREDICT (1, 2) USING m__meta;",
+	"SELECT * FROM t TO PREDICT VALUES (1, 2) USING m;",
 	// Legacy calls.
 	"SELECT SVMTrain('m', 'papers', 'vec', 'label');",
 	"SELECT LRTrain('m', 'papers', 'vec', 'label');",
@@ -117,6 +132,17 @@ func TestFuzzSeedsRoundTrip(t *testing.T) {
 		"SELECT 1e999999 FROM t;":                     true,
 		";;;":                                         true,
 		"":                                            true,
+		// Point-PREDICT rejections: empty tuple, arity mismatch across a
+		// VALUES batch, missing clauses, non-numeric values, reserved
+		// names, and VALUES grafted onto the table form.
+		"PREDICT () USING m;":                               true,
+		"PREDICT VALUES () USING m;":                        true,
+		"PREDICT VALUES (1, 2), (3) USING m;":               true,
+		"PREDICT (1, 2);":                                   true,
+		"PREDICT USING m;":                                  true,
+		"PREDICT ('a', 'b') USING m;":                       true,
+		"PREDICT (1, 2) USING m__meta;":                     true,
+		"SELECT * FROM t TO PREDICT VALUES (1, 2) USING m;": true,
 	}
 	for _, s := range seedStatements {
 		_, err := Parse(s)

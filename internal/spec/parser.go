@@ -164,8 +164,83 @@ func (p *parser) statement() (*Statement, error) {
 		return p.jobStatement(KindCancelJob, "CANCEL")
 	case p.keyword("SELECT"):
 		return p.selectStatement()
+	case p.keyword("PREDICT"):
+		return p.pointPredict()
 	}
-	return nil, p.errf("expected SELECT, SHOW, WAIT or CANCEL, found %s", p.peek())
+	return nil, p.errf("expected SELECT, SHOW, WAIT, CANCEL or PREDICT, found %s", p.peek())
+}
+
+// pointPredict parses the inline scoring forms
+//
+//	PREDICT (v1, v2, ...) USING model
+//	PREDICT VALUES (v1, ...), (v2, ...) USING model
+//
+// The values are numeric literals — the feature tuple is in the statement,
+// so scoring needs no table, no view, and no materialization. The batched
+// VALUES form scores every tuple against one model snapshot.
+func (p *parser) pointPredict() (*Statement, error) {
+	st := &Statement{Kind: KindPointPredict}
+	if p.keyword("VALUES") {
+		for {
+			vals, err := p.pointTuple()
+			if err != nil {
+				return nil, err
+			}
+			st.Points = append(st.Points, vals)
+			if len(st.Points) > MaxPointBatch {
+				return nil, p.errf("PREDICT VALUES batch exceeds %d tuples", MaxPointBatch)
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+	} else {
+		vals, err := p.pointTuple()
+		if err != nil {
+			return nil, err
+		}
+		st.Points = [][]float64{vals}
+	}
+	if err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	m, err := p.name("a model name after USING")
+	if err != nil {
+		return nil, err
+	}
+	st.Model = m
+	return st, p.validate(st)
+}
+
+// pointTuple parses one parenthesized numeric tuple of a point-PREDICT.
+func (p *parser) pointTuple() ([]float64, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.accept(")") {
+		return nil, p.errf("PREDICT needs at least one value per tuple (empty tuple)")
+	}
+	var vals []float64
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if lit.Kind != LitNumber {
+			return nil, p.errf("PREDICT tuples take numeric values, found %s", lit)
+		}
+		vals = append(vals, lit.Num)
+		if len(vals) > MaxPointValues {
+			return nil, p.errf("PREDICT tuple exceeds %d values", MaxPointValues)
+		}
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return vals, nil
+	}
 }
 
 // showShards parses the tail of SHOW SHARDS <table> [k]: the table whose
@@ -352,6 +427,10 @@ func (p *parser) tailClauses(st *Statement) error {
 				return err
 			}
 			st.Async = true
+		case p.keyword("VALUES"):
+			// A near-miss worth a pointed message: inline tuples belong to
+			// the point form, not the table form.
+			return p.errf("VALUES tuples belong to the inline point form — PREDICT VALUES (...) USING <model> — not to TO %s", st.Kind)
 		default:
 			return nil
 		}
@@ -408,6 +487,47 @@ func (p *parser) validate(st *Statement) error {
 		}
 		if st.Async {
 			return p.errf("ASYNC applies to TO TRAIN only")
+		}
+	case KindPointPredict:
+		if err := ValidatePoints(st.Points); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Caps on the inline point-PREDICT forms: statements arrive from untrusted
+// network clients once a catalog is served over TCP, and the 1 MiB
+// statement cap alone would still admit a half-million-value tuple.
+const (
+	// MaxPointValues bounds one tuple's arity.
+	MaxPointValues = 4096
+	// MaxPointBatch bounds the VALUES tuple count of one statement.
+	MaxPointBatch = 1024
+)
+
+// ValidatePoints enforces the shape rules of the inline point-PREDICT
+// forms. The parser runs it, and — Statement being an exported type — the
+// session and serving layers run it again on every execution path, so a
+// programmatically built statement faces the same rules.
+func ValidatePoints(points [][]float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("spec: PREDICT needs at least one value tuple")
+	}
+	if len(points) > MaxPointBatch {
+		return fmt.Errorf("spec: PREDICT VALUES batch of %d exceeds the limit of %d", len(points), MaxPointBatch)
+	}
+	arity := len(points[0])
+	for i, vals := range points {
+		if len(vals) == 0 {
+			return fmt.Errorf("spec: PREDICT tuple %d is empty", i+1)
+		}
+		if len(vals) > MaxPointValues {
+			return fmt.Errorf("spec: PREDICT tuple %d has %d values, limit is %d", i+1, len(vals), MaxPointValues)
+		}
+		if len(vals) != arity {
+			return fmt.Errorf("spec: PREDICT VALUES arity mismatch: tuple %d has %d values, tuple 1 has %d",
+				i+1, len(vals), arity)
 		}
 	}
 	return nil

@@ -96,6 +96,74 @@ func TestParsePredictAndEvaluate(t *testing.T) {
 	}
 }
 
+func TestParsePointPredict(t *testing.T) {
+	st, err := Parse(`PREDICT (1.5, -2, 3e-1) USING m;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindPointPredict || st.Model != "m" || len(st.Points) != 1 {
+		t.Fatalf("point predict: %+v", st)
+	}
+	if got := st.Points[0]; len(got) != 3 || got[0] != 1.5 || got[1] != -2 || got[2] != 0.3 {
+		t.Fatalf("values: %v", got)
+	}
+
+	st, err = Parse(`PREDICT VALUES (1, 2), (3, 4), (5, 6) USING 'my model'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindPointPredict || st.Model != "my model" || len(st.Points) != 3 {
+		t.Fatalf("batched point predict: %+v", st)
+	}
+	if st.Points[2][1] != 6 {
+		t.Fatalf("values: %v", st.Points)
+	}
+}
+
+func TestParsePointPredictErrors(t *testing.T) {
+	for src, wantSub := range map[string]string{
+		"PREDICT () USING m;":                 "empty tuple",
+		"PREDICT VALUES () USING m;":          "empty tuple",
+		"PREDICT VALUES (1, 2), (3) USING m;": "arity mismatch",
+		"PREDICT (1, 2);":                     "USING",
+		"PREDICT USING m;":                    `"("`,
+		"PREDICT ('a') USING m;":              "numeric",
+		"PREDICT (1) USING m__meta;":          "reserved",
+		"PREDICT (1) USING m__shadow;":        "reserved",
+		// VALUES does not graft onto the table form.
+		"SELECT * FROM t TO PREDICT VALUES (1, 2) USING m;": "inline point form",
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) = %v, want mention of %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestValidatePointsCaps(t *testing.T) {
+	big := make([]float64, MaxPointValues+1)
+	if err := ValidatePoints([][]float64{big}); err == nil {
+		t.Error("oversized tuple accepted")
+	}
+	batch := make([][]float64, MaxPointBatch+1)
+	for i := range batch {
+		batch[i] = []float64{1}
+	}
+	if err := ValidatePoints(batch); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if err := ValidatePoints(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := ValidatePoints([][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Errorf("valid points rejected: %v", err)
+	}
+}
+
 func TestParseShow(t *testing.T) {
 	for src, kind := range map[string]Kind{
 		"SHOW TABLES;":     KindShowTables,
@@ -170,7 +238,7 @@ func TestParseQuotedCommas(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"DROP TABLE x":                                     "expected SELECT, SHOW, WAIT or CANCEL",
+		"DROP TABLE x":                                     "expected SELECT, SHOW, WAIT, CANCEL or PREDICT",
 		"SELECT * FROM t TO TRAIN lr":                      "INTO",
 		"SELECT * FROM t TO PREDICT":                       "USING",
 		"SELECT * FROM t TO EXPLAIN lr INTO m":             "TRAIN, PREDICT or EVALUATE",

@@ -134,9 +134,21 @@ func Tasks() []*TaskSpec {
 
 // --- inference helpers for Build hooks ---
 
+// errNoView reports an inference attempt with no data view — the point-
+// PREDICT path rebuilds tasks from persisted metadata alone, which carries
+// every parameter of a committed model; reaching inference there means the
+// metadata is incomplete (or hand-edited), so fail with a diagnosis rather
+// than a nil dereference.
+func errNoView(what string) error {
+	return fmt.Errorf("spec: cannot infer %s without a data view (model metadata incomplete?)", what)
+}
+
 // InferVecDim scans the view's column (dense or sparse vectors) and
 // returns the maximum dimension.
 func InferVecDim(tbl *engine.Table, col int) (int, error) {
+	if tbl == nil {
+		return 0, errNoView("the feature dimension")
+	}
 	dim := 0
 	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		switch tp[col].Type {
@@ -164,6 +176,9 @@ func InferVecDim(tbl *engine.Table, col int) (int, error) {
 // InferMaxInt returns max(col)+1 over the view — the extent of a 0-based
 // index column (matrix rows/cols, vertex ids, class labels).
 func InferMaxInt(tbl *engine.Table, col int) (int, error) {
+	if tbl == nil {
+		return 0, errNoView("an index-column extent")
+	}
 	maxV := int64(-1)
 	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		v := tp[col].Int
@@ -188,6 +203,9 @@ func InferMaxInt(tbl *engine.Table, col int) (int, error) {
 // InferMaxInt32 returns max over all entries of an int32-vector column,
 // plus one (the extent of CRF feature/label id spaces).
 func InferMaxInt32(tbl *engine.Table, col int) (int, error) {
+	if tbl == nil {
+		return 0, errNoView("an id-space extent")
+	}
 	maxV := int32(-1)
 	err := tbl.Rows().Scan(func(tp engine.Tuple) error {
 		for _, v := range tp[col].Ints {

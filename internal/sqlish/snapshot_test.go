@@ -1,0 +1,226 @@
+package sqlish
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bismarck/internal/data"
+)
+
+// scoreLines parses the per-tuple "%.6g" output of a point PREDICT.
+func scoreLines(t *testing.T, out string) []float64 {
+	t.Helper()
+	var scores []float64
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+		if err != nil {
+			t.Fatalf("non-numeric point-PREDICT output line %q in:\n%s", line, out)
+		}
+		scores = append(scores, v)
+	}
+	return scores
+}
+
+// TestPointPredictVectorLayout trains LR (vector layout: all inline values
+// form the feature vector) and scores through both inline forms.
+func TestPointPredictVectorLayout(t *testing.T) {
+	s, out := declSession(t)
+	copyInto(t, s, "papers", data.Forest(400, 7))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr
+		WITH alpha=0.2, epochs=8, seed=1 COLUMN vec LABEL label INTO m;`)
+
+	out.Reset()
+	mustExec(t, s, `PREDICT (0.25, 0.5, 0.75) USING m;`)
+	single := scoreLines(t, out.String())
+	if len(single) != 1 {
+		t.Fatalf("single form printed %d scores, want 1:\n%s", len(single), out.String())
+	}
+	if single[0] <= 0 || single[0] >= 1 {
+		t.Fatalf("LR point score %v outside (0,1)", single[0])
+	}
+
+	out.Reset()
+	mustExec(t, s, `PREDICT VALUES (0.25, 0.5, 0.75), (0.9, 0.1, 0.2) USING m;`)
+	batch := scoreLines(t, out.String())
+	if len(batch) != 2 {
+		t.Fatalf("batched form printed %d scores, want 2:\n%s", len(batch), out.String())
+	}
+	if batch[0] != single[0] {
+		t.Fatalf("same tuple scored differently: %v vs %v", batch[0], single[0])
+	}
+}
+
+// TestPointPredictScalarLayout trains LMF (scalar layout: positional
+// (row, col) values) and exercises the integral-value and arity checks.
+func TestPointPredictScalarLayout(t *testing.T) {
+	s, out := declSession(t)
+	copyInto(t, s, "ratings", data.MovieLens(20, 15, 400, 3, 0.05, 2))
+	mustExec(t, s, `SELECT * FROM ratings TO TRAIN lmf
+		WITH rows=20, cols=15, rank=3, epochs=12, alpha=0.05, seed=2 INTO mf;`)
+
+	out.Reset()
+	mustExec(t, s, `PREDICT (3, 4) USING mf;`)
+	scores := scoreLines(t, out.String())
+	if len(scores) != 1 || math.IsNaN(scores[0]) {
+		t.Fatalf("lmf point score: %v", scores)
+	}
+
+	// A cell outside the trained matrix is NaN, not an error.
+	out.Reset()
+	mustExec(t, s, `PREDICT (1000, 4) USING mf;`)
+	if !strings.Contains(out.String(), "NaN") {
+		t.Fatalf("out-of-matrix cell should print NaN, got %q", out.String())
+	}
+
+	for stmt, wantSub := range map[string]string{
+		`PREDICT (3.5, 4) USING mf;`:   "integer",
+		`PREDICT (1, 2, 3) USING mf;`:  "wants 2",
+		`PREDICT VALUES (7) USING mf;`: "wants 2",
+	} {
+		if err := s.Exec(stmt); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s => %v, want substring %q", stmt, err, wantSub)
+		}
+	}
+}
+
+// TestPointPredictUnknownModel pins the typed error contract: scoring a
+// model that was never trained (or has been dropped) surfaces as
+// *UnknownModelError with the SHOW MODELS hint.
+func TestPointPredictUnknownModel(t *testing.T) {
+	s, _ := declSession(t)
+	err := s.Exec(`PREDICT (1, 2) USING nosuch;`)
+	var unk *UnknownModelError
+	if !errors.As(err, &unk) {
+		t.Fatalf("want *UnknownModelError, got %T: %v", err, err)
+	}
+	if unk.Model != "nosuch" || !strings.Contains(err.Error(), "SHOW MODELS") {
+		t.Fatalf("error lost its hint: %v", err)
+	}
+
+	// Dropped after training: same typed error, not a stale read.
+	copyInto(t, s, "papers", data.Forest(200, 3))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2 INTO m;`)
+	if err := s.Cat.Drop("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cat.Drop(metaTable("m")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Exec(`PREDICT (1, 2, 3) USING m;`)
+	if !errors.As(err, &unk) {
+		t.Fatalf("dropped model: want *UnknownModelError, got %T: %v", err, err)
+	}
+}
+
+// TestLoadSnapshotGeneration checks the snapshot/generation pairing: the
+// generation is read inside the model's lock window, advances across a
+// retrain (whose Swap retargets the name), and never moves for an
+// untouched model.
+func TestLoadSnapshotGeneration(t *testing.T) {
+	s, _ := declSession(t)
+	copyInto(t, s, "papers", data.Forest(200, 5))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lsq WITH epochs=3 INTO m;`)
+
+	snap1, gen1, err := s.LoadSnapshot("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1 == 0 {
+		t.Fatal("trained model has generation 0")
+	}
+	if ok, reason := snap1.SupportsPoint(); !ok {
+		t.Fatalf("lsq snapshot should score points: %s", reason)
+	}
+	if snap1.Model != "m" || snap1.Spec.Name != "lsq" || len(snap1.W) == 0 {
+		t.Fatalf("snapshot incomplete: %+v", snap1)
+	}
+
+	_, again, err := s.LoadSnapshot("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != gen1 {
+		t.Fatalf("generation moved without a mutation: %d -> %d", gen1, again)
+	}
+
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lsq WITH epochs=3 INTO m;`)
+	snap2, gen2, err := s.LoadSnapshot("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("retrain did not advance generation: %d -> %d", gen1, gen2)
+	}
+	if snap2.Task.Dim() != snap1.Task.Dim() {
+		t.Fatalf("rebuilt task changed dimension: %d vs %d", snap1.Task.Dim(), snap2.Task.Dim())
+	}
+}
+
+// TestPointScratchZeroAlloc pins the hot-path contract locally: once the
+// scratch is warm, scoring allocates nothing. (The serve package re-proves
+// this through its cache; this is the scoring core alone.)
+func TestPointScratchZeroAlloc(t *testing.T) {
+	s, _ := declSession(t)
+	copyInto(t, s, "papers", data.Forest(200, 5))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN svm WITH epochs=3 INTO m;`)
+	snap, _, err := s.LoadSnapshot("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{0.1, 0.2, 0.3}
+	var sc PointScratch
+	if _, err := sc.Score(snap, vals); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	sink := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		v, err := sc.Score(snap, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += v
+	})
+	if allocs != 0 {
+		t.Fatalf("PointScratch.Score allocates %v/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestPointLayoutUnsupportedTask: a task without a Predict hook fails with
+// a direct diagnosis, not a panic or a nil score.
+func TestPointLayoutUnsupportedTask(t *testing.T) {
+	s, _ := declSession(t)
+	copyInto(t, s, "edges", data.MovieLens(10, 10, 120, 2, 0.1, 4))
+	mustExec(t, s, `SELECT * FROM edges TO TRAIN maxcut WITH nodes=10, epochs=2 INTO cut;`)
+	err := s.Exec(`PREDICT (1, 2) USING cut;`)
+	if err == nil || !strings.Contains(err.Error(), "does not support PREDICT") {
+		t.Fatalf("maxcut point predict => %v", err)
+	}
+}
+
+// TestShowTasksPointTag: SHOW TASKS marks point-capable tasks so REPL users
+// can see which models the inline form will accept.
+func TestShowTasksPointTag(t *testing.T) {
+	s, out := declSession(t)
+	mustExec(t, s, `SHOW TASKS;`)
+	for _, line := range strings.Split(out.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 || strings.HasPrefix(line, " ") {
+			continue
+		}
+		tagged := strings.Contains(line, "[point]")
+		switch f[0] {
+		case "lr", "svm", "lsq", "lasso", "softmax", "lmf":
+			if !tagged {
+				t.Errorf("task %s should carry [point]: %q", f[0], line)
+			}
+		case "crf", "kalman", "portfolio", "maxcut":
+			if tagged {
+				t.Errorf("task %s must not carry [point]: %q", f[0], line)
+			}
+		}
+	}
+}

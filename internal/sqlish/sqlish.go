@@ -99,7 +99,11 @@ func (s *Session) Run(st *spec.Statement) error {
 		return nil
 	case spec.KindShowTasks:
 		for _, ts := range spec.Tasks() {
-			fmt.Fprintf(s.Out, "%-10s %s\n", ts.Name, ts.Summary)
+			point := ""
+			if ts.Predict != nil {
+				point = " [point]"
+			}
+			fmt.Fprintf(s.Out, "%-10s %s%s\n", ts.Name, ts.Summary, point)
 			if len(ts.Params) > 0 {
 				fmt.Fprintf(s.Out, "           WITH %s\n", spec.DescribeParams(ts.Params))
 			}
@@ -117,6 +121,8 @@ func (s *Session) Run(st *spec.Statement) error {
 		return s.predict(st)
 	case spec.KindEvaluate:
 		return s.evaluate(st)
+	case spec.KindPointPredict:
+		return s.pointPredict(st)
 	}
 	return fmt.Errorf("sqlish: unsupported statement %v", st.Kind)
 }
