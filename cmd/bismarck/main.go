@@ -152,6 +152,8 @@ func statementLoop(exec func(text string)) {
 			fmt.Println("  PREDICT VALUES (...), (...) USING model;      -- batched, one model generation")
 			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;  SHOW SHARDS t [k];")
 			fmt.Println("  SHOW JOBS;  WAIT JOB n;  CANCEL JOB n;    (with -connect)")
+			fmt.Println("  CHECK TABLE t;  SHOW SCRUB;               -- verify page checksums / list quarantined pages")
+			fmt.Println("  (WITH degraded=true skips quarantined pages in source scans, reporting rows skipped)")
 			fmt.Println("  (SHOW TASKS marks tasks scorable by inline PREDICT with [point])")
 		default:
 			buf.WriteString(line)

@@ -72,6 +72,13 @@ func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, se
 		for _, f := range r.Swept {
 			fmt.Printf("bismarckd: recovery: swept %s\n", f)
 		}
+		for name, what := range r.Repaired {
+			fmt.Printf("bismarckd: recovery: repaired %q (%s)\n", name, what)
+		}
+		for name, pages := range r.Quarantined {
+			fmt.Printf("bismarckd: recovery: %q has %d quarantined pages %v — reads fail until CHECK TABLE passes or the table is rewritten; retry WITH degraded=true to skip them\n",
+				name, len(pages), pages)
+		}
 	}
 	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha,
 		ServeInflight: serveIn, ServeQueue: serveQ})

@@ -28,6 +28,12 @@ const maxPoolShards = 16
 type BufferPool struct {
 	src    io.ReaderAt
 	shards []poolShard
+	// verify, when set, validates a page as it is filled from src and
+	// before it becomes visible to any caller — the pool's contract is that
+	// a cached page is never a corrupt page. Fills that fail verification
+	// are not cached. Hits pay nothing: verification cost is strictly
+	// per-miss, which is what keeps the checksum off the hot epoch path.
+	verify func(id int, p page) error
 }
 
 type poolShard struct {
@@ -105,6 +111,11 @@ func (bp *BufferPool) Get(id int) (page, error) {
 	buf := make(page, PageSize)
 	if _, err := bp.src.ReadAt(buf, int64(id)*PageSize); err != nil {
 		return nil, fmt.Errorf("engine: buffer pool read page %d: %w", id, err)
+	}
+	if bp.verify != nil {
+		if err := bp.verify(id, buf); err != nil {
+			return nil, err
+		}
 	}
 
 	sh.mu.Lock()

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sync"
 )
 
 // pageStore abstracts where pages live: in memory or in a file (read through
@@ -18,6 +21,11 @@ type pageStore interface {
 	// the same goroutine's pool handle.
 	readPage(i int) (page, error)
 	appendPage(p page) error
+	// checkPage re-reads page i from the backing medium (bypassing any
+	// cache) and verifies its integrity — the scrub primitive. File stores
+	// evict the page from the pool when the fresh copy is bad, so a stale
+	// cached copy cannot outlive the eviction and resurrect it.
+	checkPage(i int) error
 	// reset discards all pages.
 	reset() error
 	// sync forces written pages to stable storage (fsync for file stores).
@@ -46,6 +54,13 @@ func (m *memStore) appendPage(p page) error {
 	return nil
 }
 
+func (m *memStore) checkPage(i int) error {
+	if i < 0 || i >= len(m.pages) {
+		return fmt.Errorf("engine: page %d out of range (%d pages)", i, len(m.pages))
+	}
+	return nil // memory does not rot within a process lifetime
+}
+
 func (m *memStore) reset() error {
 	m.pages = nil
 	return nil
@@ -55,31 +70,118 @@ func (m *memStore) sync() error { return nil }
 
 func (m *memStore) close() error { return nil }
 
-// fileStore keeps pages in an OS file, read through a BufferPool.
+// fileStore keeps pages in an OS file, read through a BufferPool that
+// verifies every page it fills. All reads and writes pass through the
+// IOHooks fault layer; production stores carry nil hooks and pay only a
+// pair of nil checks.
 type fileStore struct {
 	f    *os.File
 	path string
 	n    int
 	pool *BufferPool
+	io   *IOHooks
+	// legacy marks a pre-checksum file (every page's version byte is 0):
+	// verification is impossible, and the open path migrates the file to
+	// the v1 format before handing out a heap. The flag is per-FILE, never
+	// per-page — in a v1 file the checksum covers the version byte, so rot
+	// there fails verification instead of downgrading the page to
+	// "unverifiable".
+	legacy bool
 }
 
-func newFileStore(path string, poolPages int) (*fileStore, error) {
+// openFileStore opens (or creates) the page file at path. With repairTail,
+// a non-page-aligned file — the torn tail of a crash mid-append — is
+// truncated back to the last full page instead of refusing to open; only
+// catalog recovery opts in, and only for tables outside model pairs.
+func openFileStore(path string, poolPages int, io *IOHooks, repairTail bool) (*fileStore, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("engine: %s size %d not page aligned", path, st.Size())
+	size := st.Size()
+	var repaired int64
+	if rem := size % PageSize; rem != 0 {
+		if !repairTail {
+			f.Close()
+			return nil, 0, fmt.Errorf("engine: %s size %d not page aligned", path, size)
+		}
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		repaired = rem
 	}
-	fs := &fileStore{f: f, path: path, n: int(st.Size() / PageSize)}
-	fs.pool = NewBufferPool(fs.f, poolPages)
-	return fs, nil
+	fs := &fileStore{f: f, path: path, n: int(size / PageSize), io: io}
+	fs.legacy = fs.sniffLegacy()
+	fs.pool = NewBufferPool(fs, poolPages)
+	fs.pool.verify = fs.verifyPage
+	return fs, repaired, nil
+}
+
+// sniffLegacy reports whether the file predates the checksummed format:
+// non-empty with every page's version byte 0. It reads the raw file, not
+// the fault layer — format detection is metadata, and an injected read
+// fault here would misclassify the file rather than exercise a read path.
+func (fs *fileStore) sniffLegacy() bool {
+	if fs.n == 0 {
+		return false
+	}
+	var vb [1]byte
+	for i := 0; i < fs.n; i++ {
+		if _, err := fs.f.ReadAt(vb[:], int64(i)*PageSize+1); err != nil {
+			return false // unreadable: let page verification report it
+		}
+		if vb[0] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAt implements io.ReaderAt for the buffer pool, applying read faults.
+// The pool only ever reads whole aligned pages, so off/PageSize identifies
+// the page an injected fault lands on.
+func (fs *fileStore) ReadAt(b []byte, off int64) (int, error) {
+	pageID := int(off / PageSize)
+	switch fs.io.readFault(fs.path, pageID) {
+	case IOReadError:
+		return 0, fmt.Errorf("engine: %s: injected read error at page %d", fs.path, pageID)
+	case IOBitRot:
+		n, err := fs.f.ReadAt(b, off)
+		if err == nil && n > 0 {
+			// Deterministic single-bit flip; position and bit derive from
+			// the page id so a test can predict exactly what rots.
+			pos := (pageID * 2654435761) % n
+			if pos < 0 {
+				pos = -pos
+			}
+			b[pos] ^= 1 << (pageID & 7)
+		}
+		return n, err
+	}
+	return fs.f.ReadAt(b, off)
+}
+
+// verifyPage is the pool's fill-time verifier: a page is checksummed once
+// when it comes off the disk and never again while cached.
+func (fs *fileStore) verifyPage(id int, p page) error {
+	if fs.legacy {
+		return nil // pre-checksum file: nothing to verify (migration pending)
+	}
+	if !p.checksumOK() {
+		return &CorruptPageError{Path: fs.path, Page: id, Reason: "checksum mismatch"}
+	}
+	return nil
 }
 
 func (fs *fileStore) numPages() int { return fs.n }
@@ -92,11 +194,60 @@ func (fs *fileStore) readPage(i int) (page, error) {
 }
 
 func (fs *fileStore) appendPage(p page) error {
-	if _, err := fs.f.WriteAt(p, int64(fs.n)*PageSize); err != nil {
+	p.seal()
+	off := int64(fs.n) * PageSize
+	var (
+		n   int
+		err error
+	)
+	switch fs.io.writeFault(fs.path, fs.n) {
+	case IOWriteError:
+		err = fmt.Errorf("engine: %s: injected write error at page %d", fs.path, fs.n)
+	case IOShortWrite:
+		// The device accepted only half the page but the syscall reported
+		// the short count; the n < PageSize check below must catch it.
+		n, err = fs.f.WriteAt(p[:PageSize/2], off)
+	case IOTornWrite:
+		// Power loss mid-write: half the sealed page reaches the platter
+		// and the "process" dies. No rollback runs — a dying process runs
+		// none — so the torn tail is the next open's problem.
+		_, _ = fs.f.WriteAt(p[:PageSize/2], off)
+		return fmt.Errorf("engine: %s: torn write at page %d: %w", fs.path, fs.n, ErrInjectedCrash)
+	default:
+		n, err = fs.f.WriteAt(p, off)
+	}
+	if err == nil && n < PageSize {
+		err = fmt.Errorf("engine: %s: short write at page %d (%d of %d bytes)", fs.path, fs.n, n, PageSize)
+	}
+	if err != nil {
+		// Roll the file back to the last full page: fs.n stays truthful,
+		// the next append lands on a clean page boundary, and no torn tail
+		// is left for recovery to condemn.
+		if terr := fs.f.Truncate(off); terr != nil {
+			return fmt.Errorf("%w (rollback truncate failed: %v)", err, terr)
+		}
 		return err
 	}
 	fs.pool.Invalidate(fs.n)
 	fs.n++
+	return nil
+}
+
+func (fs *fileStore) checkPage(i int) error {
+	if i < 0 || i >= fs.n {
+		return fmt.Errorf("engine: page %d out of range (%d pages)", i, fs.n)
+	}
+	buf := make(page, PageSize)
+	if _, err := fs.ReadAt(buf, int64(i)*PageSize); err != nil {
+		fs.pool.Invalidate(i)
+		return fmt.Errorf("engine: scrub read page %d of %s: %w", i, fs.path, err)
+	}
+	if err := fs.verifyPage(i, buf); err != nil {
+		// The disk copy is bad; a stale good copy must not linger in the
+		// pool only to vanish at the next eviction.
+		fs.pool.Invalidate(i)
+		return err
+	}
 	return nil
 }
 
@@ -109,16 +260,44 @@ func (fs *fileStore) reset() error {
 	return nil
 }
 
-func (fs *fileStore) sync() error { return fs.f.Sync() }
+func (fs *fileStore) sync() error {
+	switch fs.io.syncFault(fs.path) {
+	case IOSyncError:
+		return fmt.Errorf("engine: %s: injected fsync failure", fs.path)
+	case IOSyncLie:
+		// The lying cache: report durable without forcing anything. Tests
+		// pair this with a simulated power cut that discards the writes.
+		return nil
+	}
+	return fs.f.Sync()
+}
 
 func (fs *fileStore) close() error { return fs.f.Close() }
 
 // Heap is an append-only heap file of variable-length records stored on
 // slotted pages, with overflow chains for records larger than a page.
+// File-backed heaps verify every page as it is read off disk and keep a
+// quarantine map of pages that failed: strict scans fail on them with a
+// *CorruptPageError, degraded scans skip them and count the loss.
 type Heap struct {
 	st   pageStore
 	cur  page // partially filled tail data page, nil if none
 	nrec int
+
+	// table is the owning table's name, stamped into CorruptPageError so
+	// statement-layer callers see which relation is sick ("" for raw heaps).
+	table string
+
+	// mu guards the corruption map and the per-page record counts: scans
+	// read both concurrently while another scan or scrub may be
+	// quarantining a freshly rotted page.
+	mu   sync.RWMutex
+	quar map[int]string
+	// pageRecs tracks how many records BEGIN on each flushed page (data
+	// pages: slot count; overflow starts: 1; continuations: 0; -1 when the
+	// page was already unreadable at open). It is what lets a degraded
+	// read report how many rows a quarantined page cost.
+	pageRecs []int
 }
 
 // NewMemHeap returns a heap whose pages live in memory.
@@ -128,29 +307,258 @@ func NewMemHeap() *Heap { return &Heap{st: &memStore{}} }
 // heaps: 1024 pages = 8 MB.
 const DefaultPoolPages = 1024
 
-// OpenFileHeap opens (or creates) a file-backed heap at path. Existing
-// records are counted so NumRecords is correct after reopen.
+// heapOpenInfo reports what opening a file heap had to do beyond opening.
+type heapOpenInfo struct {
+	migrated      bool  // legacy pre-checksum file rewritten to v1
+	repairedBytes int64 // torn tail truncated (repairTail only)
+}
+
+// OpenFileHeap opens (or creates) a file-backed heap at path. Pre-checksum
+// files are migrated to the checksummed format in place (via a side file
+// and one rename, so a crash leaves either format complete, never a mix).
+// Every page is verified at open; pages that fail are quarantined rather
+// than failing the open, and NumRecords counts what is actually readable.
 func OpenFileHeap(path string, poolPages int) (*Heap, error) {
+	h, _, err := openFileHeap(path, poolPages, nil, false)
+	return h, err
+}
+
+func openFileHeap(path string, poolPages int, io *IOHooks, repairTail bool) (*Heap, heapOpenInfo, error) {
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
-	fs, err := newFileStore(path, poolPages)
+	var info heapOpenInfo
+	fs, repaired, err := openFileStore(path, poolPages, io, repairTail)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	h := &Heap{st: fs}
-	if fs.numPages() > 0 {
-		n := 0
-		if err := h.Scan(func([]byte) error { n++; return nil }); err != nil {
-			fs.close()
-			return nil, err
+	info.repairedBytes = repaired
+	if fs.legacy {
+		if err := migrateLegacyHeap(fs); err != nil {
+			return nil, info, err
 		}
-		h.nrec = n
+		info.migrated = true
+		if fs, _, err = openFileStore(path, poolPages, io, false); err != nil {
+			return nil, info, err
+		}
 	}
-	return h, nil
+	h := &Heap{st: fs, quar: map[int]string{}}
+	h.buildIndex()
+	return h, info, nil
 }
 
-// NumRecords returns the number of records appended to the heap.
+// migrateLegacyHeap rewrites a pre-checksum heap into the v1 format via a
+// side file: records are scanned out of the legacy pages, written sealed
+// into <path>.migrate, synced, and renamed over the original. A crash at
+// any point leaves either the untouched legacy file or the complete v1
+// file — never a mix. The legacy store is closed either way.
+func migrateLegacyHeap(fs *fileStore) error {
+	src := &Heap{st: fs}
+	path, dir := fs.path, filepath.Dir(fs.path)
+	tmp := path + ".migrate"
+	_ = os.Remove(tmp) // stale side file from an interrupted migration
+	dstFS, _, err := openFileStore(tmp, 64, fs.io, false)
+	if err != nil {
+		fs.close()
+		return err
+	}
+	dst := &Heap{st: dstFS}
+	err = src.Scan(func(rec []byte) error { return dst.Append(rec) })
+	if err == nil {
+		err = dst.Sync()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := fs.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("engine: migrating legacy heap %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// buildIndex walks every flushed page once at open: the walk itself
+// verifies each page (reads go through the pool's fill-time checksum),
+// quarantines the ones that fail, records per-page record counts for
+// degraded-read accounting, and counts the readable records so NumRecords
+// reflects what a scan can actually yield.
+func (h *Heap) buildIndex() {
+	np := h.st.numPages()
+	h.pageRecs = make([]int, np)
+	n := 0
+	for i := 0; i < np; i++ {
+		p, err := h.st.readPage(i)
+		if err != nil {
+			h.quarantine(i, openReason(err))
+			h.pageRecs[i] = -1
+			continue
+		}
+		switch p.kind() {
+		case pageData:
+			h.pageRecs[i] = p.slotCount()
+			n += p.slotCount()
+		case pageOverflowStart:
+			// A chain holds exactly one record; if any of its pages is bad
+			// the start page is quarantined so scans skip (or fail on) the
+			// whole record in one place.
+			h.pageRecs[i] = 1
+			total := int(binary.LittleEndian.Uint32(p[pageHeaderSize:]))
+			got := p.payloadEnd() - pageHeaderSize - overflowHeaderSize
+			if got > total {
+				got = total
+			}
+			bad := ""
+			j := i + 1
+			for got < total {
+				if j >= np {
+					bad = "truncated overflow chain"
+					break
+				}
+				cp, err := h.st.readPage(j)
+				if err != nil {
+					h.quarantine(j, openReason(err))
+					h.pageRecs[j] = 0
+					bad = fmt.Sprintf("overflow continuation page %d unreadable", j)
+					j++
+					break
+				}
+				if cp.kind() != pageOverflowCont {
+					bad = fmt.Sprintf("broken overflow chain (page %d is not a continuation)", j)
+					break
+				}
+				h.pageRecs[j] = 0
+				take := total - got
+				if m := cp.payloadEnd() - pageHeaderSize; take > m {
+					take = m
+				}
+				got += take
+				j++
+			}
+			if bad != "" {
+				h.quarantine(i, bad)
+			} else {
+				n++
+			}
+			i = j - 1
+		case pageOverflowCont:
+			// Not owned by any readable chain start (its start page was
+			// quarantined, or truncation ate the start). Scans skip it.
+			h.pageRecs[i] = 0
+		default:
+			h.quarantine(i, fmt.Sprintf("unknown page kind %d", p.kind()))
+			h.pageRecs[i] = -1
+		}
+	}
+	h.nrec = n
+}
+
+// openReason extracts the human reason from an open-time page failure.
+func openReason(err error) string {
+	var ce *CorruptPageError
+	if errors.As(err, &ce) {
+		return ce.Reason
+	}
+	return err.Error()
+}
+
+// filePath returns the backing file path ("" for in-memory heaps).
+func (h *Heap) filePath() string {
+	if fs, ok := h.st.(*fileStore); ok {
+		return fs.path
+	}
+	return ""
+}
+
+// badPage reports whether page i is quarantined.
+func (h *Heap) badPage(i int) (string, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	r, ok := h.quar[i]
+	return r, ok
+}
+
+// quarantine marks page i corrupt; reports whether it was newly marked.
+func (h *Heap) quarantine(i int, reason string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.quar == nil {
+		h.quar = map[int]string{}
+	}
+	if _, ok := h.quar[i]; ok {
+		return false
+	}
+	h.quar[i] = reason
+	return true
+}
+
+// recsOn returns how many records begin on page i (-1 unknown).
+func (h *Heap) recsOn(i int) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if i < 0 || i >= len(h.pageRecs) {
+		return -1
+	}
+	return h.pageRecs[i]
+}
+
+// QuarantinedPages returns a copy of the corruption map (nil when clean).
+func (h *Heap) QuarantinedPages() map[int]string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.quar) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(h.quar))
+	for k, v := range h.quar {
+		out[k] = v
+	}
+	return out
+}
+
+// pageErr builds the typed error for a quarantined or failing page.
+func (h *Heap) pageErr(i int, reason string) error {
+	return &CorruptPageError{Table: h.table, Path: h.filePath(), Page: i, Reason: reason}
+}
+
+// ScrubReport summarizes one integrity pass over a heap.
+type ScrubReport struct {
+	Table  string
+	Pages  int            // flushed pages checked
+	NewBad []int          // pages newly quarantined by this pass
+	Bad    map[int]string // all quarantined pages after the pass
+}
+
+// Clean reports a fully healthy heap.
+func (r ScrubReport) Clean() bool { return len(r.Bad) == 0 }
+
+// Scrub re-reads every flushed page fresh from the backing store (cached
+// copies are deliberately bypassed — the question is what the DISK holds)
+// and quarantines pages whose checksum fails or that no longer read back.
+// Quarantine is sticky: a page stays quarantined until the heap is
+// rewritten, so scans degrade deterministically instead of flickering with
+// the pool's eviction pattern.
+func (h *Heap) Scrub() ScrubReport {
+	np := h.st.numPages()
+	rep := ScrubReport{Pages: np}
+	for i := 0; i < np; i++ {
+		if err := h.st.checkPage(i); err != nil {
+			if h.quarantine(i, openReason(err)) {
+				rep.NewBad = append(rep.NewBad, i)
+			}
+		}
+	}
+	rep.Bad = h.QuarantinedPages()
+	return rep
+}
+
+// NumRecords returns the number of readable records appended to the heap.
 func (h *Heap) NumRecords() int { return h.nrec }
 
 // NumPages returns the number of flushed pages (excluding the in-memory
@@ -185,11 +593,23 @@ func (h *Heap) Append(rec []byte) error {
 	return nil
 }
 
+// appendTracked appends a flushed page and records how many records begin
+// on it, keeping the degraded-read accounting in step with the file.
+func (h *Heap) appendTracked(p page, recs int) error {
+	if err := h.st.appendPage(p); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.pageRecs = append(h.pageRecs, recs)
+	h.mu.Unlock()
+	return nil
+}
+
 func (h *Heap) flushCur() error {
 	if h.cur == nil {
 		return nil
 	}
-	if err := h.st.appendPage(h.cur); err != nil {
+	if err := h.appendTracked(h.cur, h.cur.slotCount()); err != nil {
 		return err
 	}
 	h.cur = nil
@@ -220,15 +640,15 @@ func (h *Heap) appendOverflow(rec []byte) error {
 	// First page: kind, then uint32 total length, then data.
 	first := newPage(pageOverflowStart)
 	binary.LittleEndian.PutUint32(first[pageHeaderSize:], uint32(len(rec)))
-	n := copy(first[pageHeaderSize+overflowHeaderSize:], rec)
-	if err := h.st.appendPage(first); err != nil {
+	n := copy(first[pageHeaderSize+overflowHeaderSize:first.payloadEnd()], rec)
+	if err := h.appendTracked(first, 1); err != nil {
 		return err
 	}
 	rec = rec[n:]
 	for len(rec) > 0 {
 		cont := newPage(pageOverflowCont)
-		n = copy(cont[pageHeaderSize:], rec)
-		if err := h.st.appendPage(cont); err != nil {
+		n = copy(cont[pageHeaderSize:cont.payloadEnd()], rec)
+		if err := h.appendTracked(cont, 0); err != nil {
 			return err
 		}
 		rec = rec[n:]
@@ -236,10 +656,32 @@ func (h *Heap) appendOverflow(rec []byte) error {
 	return nil
 }
 
+// chainPages returns how many pages a v1 overflow chain of `total` payload
+// bytes occupies — what lets a degraded scan step over a chain it cannot
+// read.
+func chainPages(total int) int {
+	firstCap := PageSize - pageHeaderSize - overflowHeaderSize - pageTrailerSize
+	if total <= firstCap {
+		return 1
+	}
+	contCap := PageSize - pageHeaderSize - pageTrailerSize
+	return 1 + (total-firstCap+contCap-1)/contCap
+}
+
 // Scan visits every record in storage order. The record slice passed to fn
-// is only valid during the call.
+// is only valid during the call. Scans fail with a *CorruptPageError on a
+// quarantined or freshly corrupt page; ScanDegraded skips instead.
 func (h *Heap) Scan(fn func(rec []byte) error) error {
-	return h.ScanPages(0, h.st.numPages(), fn)
+	_, err := h.scanPages(0, h.st.numPages(), false, fn)
+	return err
+}
+
+// ScanDegraded visits every readable record, skipping quarantined and
+// freshly corrupt pages, and reports what was skipped. Row counts are a
+// lower bound: a page unreadable since open never said how many records it
+// held.
+func (h *Heap) ScanDegraded(fn func(rec []byte) error) (DegradedStats, error) {
+	return h.scanPages(0, h.st.numPages(), true, fn)
 }
 
 // ScanPages visits the records whose storage begins in pages [from, to).
@@ -248,93 +690,167 @@ func (h *Heap) Scan(fn func(rec []byte) error) error {
 // a chain owned by an earlier range). If to == NumPages, the in-memory tail
 // page is scanned as well.
 func (h *Heap) ScanPages(from, to int, fn func(rec []byte) error) error {
+	_, err := h.scanPages(from, to, false, fn)
+	return err
+}
+
+// ScanPagesDegraded is ScanDegraded over the page range [from, to).
+func (h *Heap) ScanPagesDegraded(from, to int, fn func(rec []byte) error) (DegradedStats, error) {
+	return h.scanPages(from, to, true, fn)
+}
+
+func (h *Heap) scanPages(from, to int, degraded bool, fn func(rec []byte) error) (DegradedStats, error) {
+	var stats DegradedStats
 	np := h.st.numPages()
 	if from < 0 || to > np || from > to {
-		return fmt.Errorf("engine: ScanPages range [%d,%d) out of [0,%d]", from, to, np)
+		return stats, fmt.Errorf("engine: ScanPages range [%d,%d) out of [0,%d]", from, to, np)
+	}
+	// skipPage accounts one unreadable page in degraded mode.
+	skipPage := func(i int) {
+		stats.SkippedPages++
+		if n := h.recsOn(i); n > 0 {
+			stats.SkippedRows += n
+		}
 	}
 	for i := from; i < to; i++ {
+		if reason, bad := h.badPage(i); bad {
+			if !degraded {
+				return stats, h.pageErr(i, reason)
+			}
+			skipPage(i)
+			continue
+		}
 		p, err := h.st.readPage(i)
 		if err != nil {
-			return err
+			// Fresh corruption (rot since open) is quarantined so every
+			// later scan skips or fails this page deterministically; plain
+			// I/O errors are not — a transient error must stay retryable.
+			var ce *CorruptPageError
+			if errors.As(err, &ce) {
+				h.quarantine(i, ce.Reason)
+				if ce.Table == "" {
+					ce.Table = h.table
+				}
+			}
+			if !degraded {
+				return stats, err
+			}
+			skipPage(i)
+			continue
 		}
 		switch p.kind() {
 		case pageData:
 			for s := 0; s < p.slotCount(); s++ {
-				rec, err := p.record(s)
-				if err != nil {
-					return err
+				rec, rerr := p.record(s)
+				if rerr != nil {
+					if !degraded {
+						return stats, rerr
+					}
+					stats.SkippedRows++ // one unreadable slot, page otherwise fine
+					continue
 				}
 				if err := fn(rec); err != nil {
-					return err
+					return stats, err
 				}
 			}
 		case pageOverflowStart:
 			total := int(binary.LittleEndian.Uint32(p[pageHeaderSize:]))
 			rec := make([]byte, 0, total)
 			take := total
-			if m := PageSize - pageHeaderSize - overflowHeaderSize; take > m {
+			if m := p.payloadEnd() - pageHeaderSize - overflowHeaderSize; take > m {
 				take = m
 			}
 			rec = append(rec, p[pageHeaderSize+overflowHeaderSize:pageHeaderSize+overflowHeaderSize+take]...)
 			j := i + 1
+			var chainErr error
 			for len(rec) < total {
 				if j >= np {
-					return fmt.Errorf("engine: truncated overflow chain at page %d", i)
+					chainErr = fmt.Errorf("engine: truncated overflow chain at page %d", i)
+					break
+				}
+				if reason, bad := h.badPage(j); bad {
+					chainErr = h.pageErr(j, reason)
+					break
 				}
 				cp, err := h.st.readPage(j)
 				if err != nil {
-					return err
+					var ce *CorruptPageError
+					if errors.As(err, &ce) {
+						h.quarantine(j, ce.Reason)
+						if ce.Table == "" {
+							ce.Table = h.table
+						}
+					}
+					chainErr = err
+					break
 				}
 				if cp.kind() != pageOverflowCont {
-					return fmt.Errorf("engine: broken overflow chain at page %d", j)
+					chainErr = fmt.Errorf("engine: broken overflow chain at page %d", j)
+					break
 				}
 				take = total - len(rec)
-				if m := PageSize - pageHeaderSize; take > m {
+				if m := cp.payloadEnd() - pageHeaderSize; take > m {
 					take = m
 				}
 				rec = append(rec, cp[pageHeaderSize:pageHeaderSize+take]...)
 				j++
 			}
+			if chainErr != nil {
+				if !degraded {
+					return stats, chainErr
+				}
+				// Skip the whole chain — it holds exactly one record — and
+				// step arithmetically over its remaining pages.
+				end := i + chainPages(total)
+				if end > np {
+					end = np
+				}
+				stats.SkippedPages += end - i
+				stats.SkippedRows++
+				i = end - 1
+				continue
+			}
 			if err := fn(rec); err != nil {
-				return err
+				return stats, err
 			}
 			// Pages i+1..j-1 were consumed as part of this chain; skip them
-			// when they fall inside our range.
-			if j-1 > i {
-				i = j - 1
-				if i >= to {
-					// Chain extended past our range; remaining cont pages
-					// belong to us, nothing more to do in range.
-					i = to - 1
-				}
-			}
+			// (the loop exits naturally if the chain extended past `to`).
+			i = j - 1
 		case pageOverflowCont:
 			// Owned by a chain that started before `from`; skip.
 		default:
-			return fmt.Errorf("engine: unknown page kind %d at page %d", p.kind(), i)
+			if !degraded {
+				return stats, fmt.Errorf("engine: unknown page kind %d at page %d", p.kind(), i)
+			}
+			skipPage(i)
 		}
 	}
 	if to == np && h.cur != nil {
 		for s := 0; s < h.cur.slotCount(); s++ {
 			rec, err := h.cur.record(s)
 			if err != nil {
-				return err
+				return stats, err
 			}
 			if err := fn(rec); err != nil {
-				return err
+				return stats, err
 			}
 		}
 	}
-	return nil
+	return stats, nil
 }
 
-// Rewrite replaces the heap contents with the given records, in order.
+// Rewrite replaces the heap contents with the given records, in order. A
+// rewrite clears the quarantine: every byte of the old generation is gone.
 func (h *Heap) Rewrite(records [][]byte) error {
 	if err := h.st.reset(); err != nil {
 		return err
 	}
 	h.cur = nil
 	h.nrec = 0
+	h.mu.Lock()
+	h.quar = map[int]string{}
+	h.pageRecs = h.pageRecs[:0]
+	h.mu.Unlock()
 	for _, r := range records {
 		if err := h.Append(r); err != nil {
 			return err

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 )
 
 // catalogMeta is the on-disk description of a file catalog: table names and
@@ -161,13 +163,24 @@ type RecoveryReport struct {
 	Skipped map[string]string
 	// Swept lists orphan files removed or quarantined (uncommitted shadow
 	// heaps, heaps of skipped tables moved aside as *.heap.orphaned, stale
-	// checkpoint temp files).
+	// checkpoint temp files, quarantine files reaped past OrphanRetention).
 	Swept []string
+	// Quarantined maps registered table names to the pages the open-time
+	// scrub quarantined: the table is live but serves strict scans with a
+	// *CorruptPageError until rewritten (degraded reads skip the pages).
+	// Model/__meta pair members never appear here — corrupt coefficient or
+	// metadata pages condemn the pair into Skipped instead.
+	Quarantined map[string][]int
+	// Repaired maps table names to what the open repaired in place:
+	// a pre-checksum heap migrated to the checksummed format, or a torn
+	// (non-page-aligned) tail truncated back to the last full page.
+	Repaired map[string]string
 }
 
 // Clean reports that recovery had nothing to repair.
 func (r RecoveryReport) Clean() bool {
-	return len(r.Completed) == 0 && len(r.Skipped) == 0 && len(r.Swept) == 0
+	return len(r.Completed) == 0 && len(r.Skipped) == 0 && len(r.Swept) == 0 &&
+		len(r.Quarantined) == 0 && len(r.Repaired) == 0
 }
 
 // OpenFileCatalog loads a catalog previously written with Save, reopening
@@ -180,22 +193,41 @@ func (r RecoveryReport) Clean() bool {
 //  1. Entries carrying a generation marker (PendingFrom) had committed a
 //     swap whose heap renames may not have happened — the shadow heap, if
 //     still present, is renamed into place (roll-forward).
-//  2. An entry whose heap file is missing or truncated (not page-aligned)
-//     is NOT registered — the old behavior of silently resurrecting it as
-//     an empty table is exactly the data-loss bug the swap protocol fixes.
-//     Its model/__meta partner entry is condemned with it, so a model can
-//     never reopen as a coefficients/metadata mix; left-over heaps are
-//     quarantined as *.heap.orphaned rather than reopened.
-//  3. Uncommitted shadow heaps (*__shadow.heap) and stale catalog.json.tmp
-//     files are deleted.
+//  2. An entry whose heap file is missing — or truncated AND part of a
+//     model/__meta pair — is NOT registered: the old behavior of silently
+//     resurrecting it as an empty table is exactly the data-loss bug the
+//     swap protocol fixes. Its pair partner is condemned with it, so a
+//     model can never reopen as a coefficients/metadata mix; left-over
+//     heaps are quarantined as *.heap.orphaned rather than reopened. A
+//     truncated PLAIN table (no pair partner) is repaired instead: the
+//     torn tail is cut back to the last full page and the loss reported.
+//  3. Opening each survivor doubles as a scrub: every page is verified,
+//     pre-checksum heaps are migrated to the checksummed format, and
+//     corrupt pages are quarantined. Model pair members with quarantined
+//     pages are condemned (a model is never served degraded); plain
+//     tables register with their corruption map surfaced in Quarantined.
+//  4. Uncommitted shadow heaps (*__shadow.heap) and stale checkpoint temp
+//     files are deleted, and quarantine files beyond OrphanRetention are
+//     reaped so crash loops cannot fill the disk.
 //
 // What recovery found is recorded in the returned catalog's Recovery field.
 func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
+	return OpenFileCatalogIO(dir, poolPages, IOHooks{})
+}
+
+// OpenFileCatalogIO is OpenFileCatalog with an I/O fault-injection layer
+// installed before any heap is opened, so the recovery scrub's own reads
+// run under injected faults — the harness for the corruption matrix.
+func OpenFileCatalogIO(dir string, poolPages int, io IOHooks) (*Catalog, error) {
 	c := NewFileCatalog(dir, poolPages)
+	c.IO = io
 	c.Recovery.Skipped = map[string]string{}
+	c.Recovery.Quarantined = map[string][]int{}
+	c.Recovery.Repaired = map[string]string{}
 	b, err := os.ReadFile(filepath.Join(dir, catalogFile))
 	if os.IsNotExist(err) {
 		c.sweepStrayFiles()
+		c.reapOrphans()
 		return c, nil
 	}
 	if err != nil {
@@ -227,6 +259,7 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 	// Phase 2 — decide which entries are registrable on their own merits.
 	entries := map[string]bool{}
 	badHeap := map[string]string{}
+	tornTail := map[string]bool{}
 	for _, tm := range meta.Tables {
 		if IsShadowName(tm.Name) {
 			// A checkpoint raced another session's in-flight fill (older
@@ -242,7 +275,22 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 		case err != nil:
 			return nil, err
 		case st.Size()%PageSize != 0:
-			badHeap[tm.Name] = "heap file truncated"
+			tornTail[tm.Name] = true
+		}
+	}
+	// A torn (non-page-aligned) tail condemns a model pair member — a
+	// model must never be silently shortened — but a plain table is
+	// repaired at open: the partial page is cut and the loss reported.
+	// Pair membership needs the full entry set, hence the second pass.
+	isPairMember := func(name string) bool {
+		return strings.HasSuffix(name, MetaSuffix) || entries[name+MetaSuffix]
+	}
+	repairTail := map[string]bool{}
+	for name := range tornTail {
+		if isPairMember(name) {
+			badHeap[name] = "heap file truncated"
+		} else {
+			repairTail[name] = true
 		}
 	}
 
@@ -271,9 +319,9 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 		}
 	}
 
-	// Phase 4 — register the survivors; quarantine the heaps of condemned
-	// entries so a later Create of the same name starts empty instead of
-	// silently reopening stale rows.
+	// Phase 4 — register the survivors (each open doubles as a scrub);
+	// quarantine the heaps of condemned entries so a later Create of the
+	// same name starts empty instead of silently reopening stale rows.
 	for _, tm := range meta.Tables {
 		if IsShadowName(tm.Name) {
 			continue
@@ -287,12 +335,43 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 		for _, cm := range tm.Columns {
 			schema = append(schema, Column{Name: cm.Name, Type: Type(cm.Type)})
 		}
-		if _, err := c.createTrusted(tm.Name, schema); err != nil {
-			// The heap exists and is page-aligned but failed the open-time
-			// record scan: intra-heap corruption. Same treatment as a
-			// truncated heap — clean absence, partner condemned below.
+		t, info, err := c.createTrusted(tm.Name, schema, repairTail[tm.Name])
+		if err != nil {
+			// The heap cannot be opened at all (unreadable file, failed
+			// legacy migration). Same treatment as a missing heap — clean
+			// absence, partner condemned below.
 			c.Recovery.Skipped[tm.Name] = fmt.Sprintf("heap unreadable: %v", err)
 			c.quarantineHeap(tm.Name)
+			continue
+		}
+		var repairs []string
+		if info.migrated {
+			repairs = append(repairs, "migrated pre-checksum heap to the checksummed page format")
+		}
+		if info.repairedBytes > 0 {
+			repairs = append(repairs, fmt.Sprintf("truncated torn tail (%d bytes past the last full page)", info.repairedBytes))
+		}
+		if len(repairs) > 0 {
+			c.Recovery.Repaired[tm.Name] = strings.Join(repairs, "; ")
+		}
+		if q := t.QuarantinedPages(); len(q) > 0 {
+			if isPairMember(tm.Name) {
+				// Corrupt pages in a model's coefficients or metadata
+				// condemn the member — a model is never served degraded —
+				// and the late partner closure below condemns its other
+				// half, keeping PR 4's pair-atomicity.
+				c.Recovery.Skipped[tm.Name] = fmt.Sprintf("%d corrupt pages (model pairs are never served degraded)", len(q))
+				delete(c.tables, tm.Name)
+				_ = t.Close()
+				c.quarantineHeap(tm.Name)
+				continue
+			}
+			pages := make([]int, 0, len(q))
+			for p := range q {
+				pages = append(pages, p)
+			}
+			sort.Ints(pages)
+			c.Recovery.Quarantined[tm.Name] = pages
 		}
 	}
 	// Late partner closure: an open-time scan failure in phase 4 condemns a
@@ -318,6 +397,7 @@ func OpenFileCatalog(dir string, poolPages int) (*Catalog, error) {
 
 	c.sweepStrayFiles()
 	c.quarantineUnreferencedHeaps()
+	c.reapOrphans()
 
 	// If recovery consumed a generation marker or changed anything, persist
 	// a clean marker-free checkpoint NOW: a marker left in catalog.json
@@ -361,13 +441,62 @@ func (c *Catalog) quarantineUnreferencedHeaps() {
 
 // quarantineHeap moves a condemned table's heap file aside (preserving the
 // bytes for forensics without letting anything reopen them as a table).
+// Each quarantine gets its own numbered file — a crash loop that condemns
+// the same table at every open must not overwrite the forensic copy of the
+// previous crash; reapOrphans bounds how many accumulate.
 func (c *Catalog) quarantineHeap(name string) {
 	hp := c.heapPath(name)
 	if _, err := os.Stat(hp); err != nil {
 		return
 	}
-	if os.Rename(hp, hp+".orphaned") == nil {
-		c.Recovery.Swept = append(c.Recovery.Swept, name+".heap -> "+name+".heap.orphaned")
+	dst := hp + ".orphaned"
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.orphaned.%d", hp, i)
+	}
+	if os.Rename(hp, dst) == nil {
+		c.Recovery.Swept = append(c.Recovery.Swept, name+".heap -> "+filepath.Base(dst))
+	}
+}
+
+// OrphanRetention bounds how many *.heap.orphaned quarantine files a
+// catalog directory retains (newest first by modification time). Repeated
+// crash loops would otherwise accumulate one forensic copy per crash until
+// the disk fills.
+var OrphanRetention = 8
+
+// reapOrphans enforces OrphanRetention, recording what it removed in
+// Recovery.Swept.
+func (c *Catalog) reapOrphans() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type orphan struct {
+		name string
+		mod  time.Time
+	}
+	var orphans []orphan
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), ".heap.orphaned") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		orphans = append(orphans, orphan{e.Name(), fi.ModTime()})
+	}
+	if len(orphans) <= OrphanRetention {
+		return
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].mod.After(orphans[j].mod) })
+	for _, o := range orphans[OrphanRetention:] {
+		if os.Remove(filepath.Join(c.dir, o.name)) == nil {
+			c.Recovery.Swept = append(c.Recovery.Swept, "reaped "+o.name)
+		}
 	}
 }
 
@@ -384,7 +513,11 @@ func (c *Catalog) sweepStrayFiles() {
 			continue
 		}
 		n := e.Name()
-		if strings.HasSuffix(n, ShadowSuffix+".heap") {
+		if strings.HasSuffix(n, ShadowSuffix+".heap") ||
+			// A crash mid-migration leaves <name>.heap.migrate next to the
+			// intact legacy file; the next open of that heap replaces it,
+			// but a heap nothing references anymore would keep it forever.
+			strings.HasSuffix(n, ".heap.migrate") {
 			if os.Remove(filepath.Join(c.dir, n)) == nil {
 				c.Recovery.Swept = append(c.Recovery.Swept, n)
 			}

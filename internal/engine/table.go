@@ -55,13 +55,15 @@ func NewMemTable(name string, schema Schema) *Table {
 	return &Table{Name: name, Schema: schema, heap: NewMemHeap()}
 }
 
-// newFileTable creates/opens a file-backed table under dir.
-func newFileTable(dir, name string, schema Schema, poolPages int) (*Table, error) {
-	h, err := OpenFileHeap(filepath.Join(dir, name+".heap"), poolPages)
+// newFileTable creates/opens a file-backed table under dir, reporting what
+// the open had to repair (legacy-format migration, torn-tail truncation).
+func newFileTable(dir, name string, schema Schema, poolPages int, io *IOHooks, repairTail bool) (*Table, heapOpenInfo, error) {
+	h, info, err := openFileHeap(filepath.Join(dir, name+".heap"), poolPages, io, repairTail)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	return &Table{Name: name, Schema: schema, heap: h}, nil
+	h.table = name
+	return &Table{Name: name, Schema: schema, heap: h}, info, nil
 }
 
 // Insert appends one tuple, validating it against the schema.
@@ -170,6 +172,45 @@ func (r reuseRelation) Segments(n int) ([][2]int, error) { return r.t.Segments(n
 // scratch buffers instead of allocating per row. Safe for consumers that do
 // not retain tuples past the callback (every IGD transition function).
 func (t *Table) Reuse() Relation { return reuseRelation{t} }
+
+// ScanReuseDegraded is ScanReuse under the degraded-read contract: pages
+// that are quarantined (or found corrupt during the scan) are skipped and
+// counted instead of failing the scan, and records that no longer decode
+// under the schema are skipped and counted as rows. IGD tolerates missing
+// rows; the stats keep the loss honest in the statement result.
+func (t *Table) ScanReuseDegraded(fn func(Tuple) error) (DegradedStats, error) {
+	sc := NewTupleScratch(t.Schema)
+	badRecs := 0
+	stats, err := t.heap.ScanDegraded(func(rec []byte) error {
+		tp, derr := DecodeTupleInto(rec, sc)
+		if derr != nil {
+			badRecs++
+			return nil
+		}
+		if !tp.Matches(t.Schema) {
+			badRecs++
+			return nil
+		}
+		return fn(tp)
+	})
+	stats.SkippedRows += badRecs
+	return stats, err
+}
+
+// Scrub re-verifies every flushed page against the backing store and
+// quarantines failures — the engine behind CHECK TABLE.
+func (t *Table) Scrub() ScrubReport {
+	rep := t.heap.Scrub()
+	rep.Table = t.Name
+	return rep
+}
+
+// QuarantinedPages returns the table's corruption map (nil when healthy).
+func (t *Table) QuarantinedPages() map[int]string { return t.heap.QuarantinedPages() }
+
+// Degraded reports whether the table carries quarantined pages: strict
+// scans over it fail with a *CorruptPageError until it is rewritten.
+func (t *Table) Degraded() bool { return len(t.heap.QuarantinedPages()) > 0 }
 
 // MaterializeLimitBytes caps how much heap a table may occupy and still be
 // eligible for the decoded-row cache; larger tables fall back to the
@@ -441,6 +482,12 @@ type Catalog struct {
 	// fault-injection tests. Zero value: no instrumentation.
 	Hooks CatalogHooks
 
+	// IO instruments the file stores under every table with I/O-level
+	// fault injection (OpenFileCatalogIO wires it in before any heap is
+	// opened; tests may also fill it in after NewFileCatalog, before the
+	// tables under test are created). Zero value: no instrumentation.
+	IO IOHooks
+
 	// Recovery records what OpenFileCatalog's recovery sweep found and did.
 	Recovery RecoveryReport
 }
@@ -497,27 +544,31 @@ func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
 	if err := ValidTableName(name); err != nil {
 		return nil, err
 	}
-	return c.create(name, schema, false)
+	t, _, err := c.create(name, schema, false, false)
+	return t, err
 }
 
 // createTrusted is Create without the name checks. OpenFileCatalog uses
 // it for names already recorded in the local catalog.json — possibly
 // written by an older release with laxer rules — because refusing one
-// legacy name would strand every other table in the catalog.
-func (c *Catalog) createTrusted(name string, schema Schema) (*Table, error) {
-	return c.create(name, schema, true)
+// legacy name would strand every other table in the catalog. repairTail
+// additionally truncates a torn (non-page-aligned) heap tail back to the
+// last full page; recovery grants it only to tables outside model pairs.
+func (c *Catalog) createTrusted(name string, schema Schema, repairTail bool) (*Table, heapOpenInfo, error) {
+	return c.create(name, schema, true, repairTail)
 }
 
-func (c *Catalog) create(name string, schema Schema, trusted bool) (*Table, error) {
+func (c *Catalog) create(name string, schema Schema, trusted, repairTail bool) (*Table, heapOpenInfo, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var info heapOpenInfo
 	if _, ok := c.tables[name]; ok {
-		return nil, fmt.Errorf("engine: table %q already exists", name)
+		return nil, info, fmt.Errorf("engine: table %q already exists", name)
 	}
 	if !trusted && c.dir != "" {
 		for existing := range c.tables {
 			if strings.EqualFold(existing, name) {
-				return nil, fmt.Errorf("engine: table name %q collides case-insensitively with existing %q", name, existing)
+				return nil, info, fmt.Errorf("engine: table name %q collides case-insensitively with existing %q", name, existing)
 			}
 		}
 	}
@@ -526,14 +577,14 @@ func (c *Catalog) create(name string, schema Schema, trusted bool) (*Table, erro
 	if c.dir == "" {
 		t = NewMemTable(name, schema)
 	} else {
-		t, err = newFileTable(c.dir, name, schema, c.poolPages)
+		t, info, err = newFileTable(c.dir, name, schema, c.poolPages, &c.IO, repairTail)
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
 	}
 	c.tables[name] = t
 	c.bumpGen(name)
-	return t, nil
+	return t, info, nil
 }
 
 // FindCaseConflict returns an existing table name equal to name under

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+)
+
+// TestTrainWhileDegradedReads is the end-to-end corruption drill (run it
+// under -race): one client trains repeatedly from a clean table while a
+// second hammers a quarantined table with degraded reads, CHECK TABLE and
+// SHOW SCRUB over the wire. Strict reads of the bad table keep failing,
+// degraded reads keep succeeding with a skip report, and the trainer
+// never notices.
+func TestTrainWhileDegradedReads(t *testing.T) {
+	dir := testCatalogDir(t)
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"papers", "logs"} {
+		src := data.Forest(2000, 5)
+		dst, err := cat.Create(name, src.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.CopyTo(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot one page of logs on disk; recovery at reopen quarantines it.
+	path := filepath.Join(dir, "logs.heap")
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], engine.PageSize+64); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], engine.PageSize+64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cat2, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat2.Recovery.Quarantined["logs"]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Quarantined[logs] = %v, want [1]", got)
+	}
+	m := NewManager(cat2, Options{Workers: 2})
+	defer func() {
+		m.Drain()
+		if err := cat2.Save(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	addr := startTCP(t, m)
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*8)
+
+	// Trainer: clean-table statements must be completely unaffected.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for r := 0; r < rounds; r++ {
+			body, err := c.Exec(fmt.Sprintf(
+				"SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=%d INTO m", r))
+			if err != nil {
+				errs <- fmt.Errorf("train round %d: %w", r, err)
+				return
+			}
+			if !strings.Contains(body, "LR trained") {
+				errs <- fmt.Errorf("train round %d: %q", r, body)
+				return
+			}
+		}
+	}()
+
+	// Degraded reader: the quarantined table serves only with the opt-in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for r := 0; r < rounds; r++ {
+			if _, err := c.Exec(fmt.Sprintf(
+				"SELECT vec, label FROM logs TO TRAIN lr WITH epochs=1, seed=%d INTO mlogs", r)); err == nil {
+				errs <- fmt.Errorf("strict read of quarantined logs succeeded (round %d)", r)
+				return
+			} else if !strings.Contains(err.Error(), "corrupt page") {
+				errs <- fmt.Errorf("strict read: %w", err)
+				return
+			}
+			body, err := c.Exec(fmt.Sprintf(
+				"SELECT vec, label FROM logs TO TRAIN lr WITH epochs=1, seed=%d, degraded=true INTO mlogs", r))
+			if err != nil {
+				errs <- fmt.Errorf("degraded read round %d: %w", r, err)
+				return
+			}
+			if !strings.Contains(body, "degraded scan: skipped 1 corrupt pages") {
+				errs <- fmt.Errorf("degraded read round %d missing skip report: %q", r, body)
+				return
+			}
+			if body, err := c.Exec("CHECK TABLE logs"); err != nil {
+				errs <- fmt.Errorf("CHECK TABLE: %w", err)
+				return
+			} else if !strings.Contains(body, "quarantined") {
+				errs <- fmt.Errorf("CHECK TABLE lost the quarantine: %q", body)
+				return
+			}
+			if body, err := c.Exec("SHOW SCRUB"); err != nil {
+				errs <- fmt.Errorf("SHOW SCRUB: %w", err)
+				return
+			} else if !strings.Contains(body, "logs") {
+				errs <- fmt.Errorf("SHOW SCRUB missing logs: %q", body)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -70,6 +70,12 @@ const (
 	// USING model, or the batched PREDICT VALUES (...), (...) USING model.
 	// No FROM table, no view — the feature tuples are in the statement.
 	KindPointPredict
+	// KindCheckTable is CHECK TABLE <table>: scrub every page of the
+	// table's heap on demand, quarantining checksum failures.
+	KindCheckTable
+	// KindShowScrub is SHOW SCRUB: report per-table page counts and
+	// quarantined page ranges from past scrubs and recovery.
+	KindShowScrub
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +103,10 @@ func (k Kind) String() string {
 		return "SHOW SHARDS"
 	case KindPointPredict:
 		return "PREDICT"
+	case KindCheckTable:
+		return "CHECK TABLE"
+	case KindShowScrub:
+		return "SHOW SCRUB"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

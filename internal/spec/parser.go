@@ -156,18 +156,22 @@ func (p *parser) statement() (*Statement, error) {
 			return &Statement{Kind: KindShowJobs}, nil
 		case p.keyword("SHARDS"):
 			return p.showShards()
+		case p.keyword("SCRUB"):
+			return &Statement{Kind: KindShowScrub}, nil
 		}
-		return nil, p.errf("expected TABLES, TASKS, MODELS, JOBS or SHARDS after SHOW, found %s", p.peek())
+		return nil, p.errf("expected TABLES, TASKS, MODELS, JOBS, SHARDS or SCRUB after SHOW, found %s", p.peek())
 	case p.keyword("WAIT"):
 		return p.jobStatement(KindWaitJob, "WAIT")
 	case p.keyword("CANCEL"):
 		return p.jobStatement(KindCancelJob, "CANCEL")
+	case p.keyword("CHECK"):
+		return p.checkTable()
 	case p.keyword("SELECT"):
 		return p.selectStatement()
 	case p.keyword("PREDICT"):
 		return p.pointPredict()
 	}
-	return nil, p.errf("expected SELECT, SHOW, WAIT, CANCEL or PREDICT, found %s", p.peek())
+	return nil, p.errf("expected SELECT, SHOW, CHECK, WAIT, CANCEL or PREDICT, found %s", p.peek())
 }
 
 // pointPredict parses the inline scoring forms
@@ -261,6 +265,20 @@ func (p *parser) showShards() (*Statement, error) {
 		p.i++
 		st.ShardCount = t.ival
 	}
+	return st, p.validate(st)
+}
+
+// checkTable parses the tail of CHECK TABLE <table>: an on-demand scrub
+// of every page of the table's heap.
+func (p *parser) checkTable() (*Statement, error) {
+	if !p.keyword("TABLE") {
+		return nil, p.errf("expected TABLE after CHECK, found %s", p.peek())
+	}
+	name, err := p.name("a table name after CHECK TABLE")
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Kind: KindCheckTable, From: name}
 	return st, p.validate(st)
 }
 

@@ -238,7 +238,7 @@ func TestParseQuotedCommas(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"DROP TABLE x":                                     "expected SELECT, SHOW, WAIT, CANCEL or PREDICT",
+		"DROP TABLE x":                                     "expected SELECT, SHOW, CHECK, WAIT, CANCEL or PREDICT",
 		"SELECT * FROM t TO TRAIN lr":                      "INTO",
 		"SELECT * FROM t TO PREDICT":                       "USING",
 		"SELECT * FROM t TO EXPLAIN lr INTO m":             "TRAIN, PREDICT or EVALUATE",

@@ -33,6 +33,7 @@ const (
 	KnobReservoir = "reservoir"
 	KnobSolver    = "solver"
 	KnobThreshold = "threshold"
+	KnobDegraded  = "degraded"
 )
 
 // KnobSpecs declares the uniform WITH parameters. Defaults marked here
@@ -54,6 +55,7 @@ var KnobSpecs = []ParamSpec{
 	IntDefault(KnobReservoir, 0, "single-reservoir subsample buffer capacity"),
 	EnumParam(KnobSolver, []string{"igd", "batch", "irls", "als"}, "training algorithm (igd is Bismarck)"),
 	FloatDefault(KnobThreshold, math.NaN(), "PREDICT decision threshold (default: task preference)"),
+	EnumParam(KnobDegraded, []string{"false", "true"}, "skip quarantined pages instead of failing the scan (reports rows skipped)"),
 }
 
 // MaxShards caps the shards knob and the SHOW SHARDS count. Shards are
@@ -80,6 +82,7 @@ type Knobs struct {
 	Reservoir int
 	Solver    string
 	Threshold float64 // NaN = unset
+	Degraded  bool    // skip quarantined pages in source scans
 }
 
 // SplitKnobs separates the uniform knobs from task-specific WITH pairs
@@ -117,6 +120,7 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 		Reservoir: p.Int(KnobReservoir),
 		Solver:    p.Str(KnobSolver),
 		Threshold: p.Float(KnobThreshold),
+		Degraded:  p.Str(KnobDegraded) == "true",
 	}
 	// An explicit shards knob must be a positive partition count: shards=0
 	// silently meaning "unsharded" would mask a typo, and negative counts

@@ -13,6 +13,11 @@ type ViewOptions struct {
 	// (PREDICT over unlabeled data); missing labels are zero-filled and
 	// HasLabel reports false.
 	OptionalLabel bool
+	// Degraded scans the source skipping quarantined pages instead of
+	// failing on the first corrupt one (WITH degraded=true); the skipped
+	// page/row counts land in View.Skipped so the statement result can
+	// report them. Off by default: silent data loss must be opted into.
+	Degraded bool
 }
 
 // View is a source table projected into a task's canonical layout.
@@ -21,6 +26,10 @@ type View struct {
 	// HasLabel reports whether the last column holds real source data (as
 	// opposed to the zero fill of OptionalLabel projections).
 	HasLabel bool
+	// Skipped counts what a Degraded projection stepped over (zero for
+	// strict projections or clean sources). SkippedRows is a lower bound —
+	// a page whose record count was never readable counts its rows as 0.
+	Skipped engine.DegradedStats
 }
 
 // ProjectView materializes the statement's select/where/column/label
@@ -149,7 +158,7 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 	}
 	row := make(engine.Tuple, n)
 	rowNum := int64(0)
-	err = src.ScanReuse(func(tp engine.Tuple) error {
+	scanRow := func(tp engine.Tuple) error {
 		ok, err := filter(tp)
 		if err != nil || !ok {
 			return err
@@ -171,7 +180,13 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 			}
 		}
 		return view.Insert(row)
-	})
+	}
+	var skipped engine.DegradedStats
+	if opt.Degraded {
+		skipped, err = src.ScanReuseDegraded(scanRow)
+	} else {
+		err = src.ScanReuse(scanRow)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +195,7 @@ func ProjectView(src *engine.Table, st *Statement, schema engine.Schema, opt Vie
 			return nil, err
 		}
 	}
-	return &View{Table: view, HasLabel: srcIdx[labelIdx] >= 0}, nil
+	return &View{Table: view, HasLabel: srcIdx[labelIdx] >= 0, Skipped: skipped}, nil
 }
 
 func clauseFor(label bool) string {

@@ -1,0 +1,205 @@
+package sqlish
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+)
+
+// corruptHeapPage flips one bit inside the given page of a heap file.
+func corruptHeapPage(t *testing.T, dir, table string, pageID int) {
+	t.Helper()
+	path := filepath.Join(dir, table+".heap")
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(pageID)*engine.PageSize + 100
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fileSession builds a file-backed session over a saved Forest table, then
+// reopens the catalog so every statement runs against disk state.
+func fileSession(t *testing.T, rows int) (*Session, *bytes.Buffer, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.Forest(rows, 5)
+	dst, err := cat.Create("papers", src.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat2.Close() })
+	var out bytes.Buffer
+	return &Session{Cat: cat2, Out: &out}, &out, dir
+}
+
+// TestCheckTableShowScrubAndDegradedStatements drives the whole degraded-
+// read surface: CHECK TABLE finds rot that landed after open, SHOW SCRUB
+// reports it, strict source scans fail with the typed corruption error,
+// and WITH degraded=true completes while reporting what was skipped.
+func TestCheckTableShowScrubAndDegradedStatements(t *testing.T) {
+	s, out, dir := fileSession(t, 3000)
+
+	// Clean table: CHECK TABLE says so.
+	mustExec(t, s, `CHECK TABLE papers;`)
+	if !strings.Contains(out.String(), `table "papers"`) || !strings.Contains(out.String(), "all checksums ok") {
+		t.Fatalf("clean CHECK TABLE output: %s", out.String())
+	}
+
+	// Rot lands while the catalog is open — the scrub must look past any
+	// cached copy and quarantine the page.
+	corruptHeapPage(t, dir, "papers", 1)
+	out.Reset()
+	mustExec(t, s, `CHECK TABLE papers;`)
+	if !strings.Contains(out.String(), "1 newly quarantined") || !strings.Contains(out.String(), "page 1: checksum mismatch") {
+		t.Fatalf("CHECK TABLE after rot: %s", out.String())
+	}
+
+	out.Reset()
+	mustExec(t, s, `SHOW SCRUB;`)
+	if !strings.Contains(out.String(), "papers") || !strings.Contains(out.String(), "1 quarantined: 1") {
+		t.Fatalf("SHOW SCRUB output: %s", out.String())
+	}
+
+	// Strict scans refuse the table and name both remedies.
+	err := s.Exec(`SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1 INTO m;`)
+	var ce *engine.CorruptPageError
+	if !errors.As(err, &ce) || ce.Table != "papers" || ce.Page != 1 {
+		t.Fatalf("strict TRAIN = %v, want CorruptPageError on papers page 1", err)
+	}
+	if !strings.Contains(err.Error(), "CHECK TABLE") || !strings.Contains(err.Error(), "degraded=true") {
+		t.Fatalf("error does not name the remedies: %v", err)
+	}
+
+	// Degraded opt-in: training completes and the skip is reported.
+	out.Reset()
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1, degraded=true INTO m;`)
+	if !strings.Contains(out.String(), "degraded scan: skipped 1 corrupt pages") {
+		t.Fatalf("degraded TRAIN output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "LR trained") {
+		t.Fatalf("degraded TRAIN did not train: %s", out.String())
+	}
+
+	// PREDICT and EVALUATE honor the same knob and report the same skip.
+	for _, stmt := range []string{
+		`SELECT * FROM papers TO PREDICT WITH degraded=true USING m;`,
+		`SELECT * FROM papers TO EVALUATE WITH degraded=true USING m;`,
+	} {
+		out.Reset()
+		mustExec(t, s, stmt)
+		if !strings.Contains(out.String(), "degraded scan: skipped 1 corrupt pages") {
+			t.Fatalf("%s\n=> no skip report: %s", stmt, out.String())
+		}
+	}
+	// ...while the strict forms still refuse.
+	if err := s.Exec(`SELECT * FROM papers TO PREDICT USING m;`); !errors.As(err, &ce) {
+		t.Fatalf("strict PREDICT = %v, want CorruptPageError", err)
+	}
+}
+
+// TestDegradedKnobAllowListed: degraded joins threshold as the only knobs
+// a PREDICT/EVALUATE statement may set — everything else is still the
+// trainer's business and is rejected with a message naming both.
+func TestDegradedKnobAllowListed(t *testing.T) {
+	s, _ := declSession(t)
+	copyInto(t, s, "papers", data.Forest(200, 5))
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=2, seed=1 INTO m;`)
+
+	err := s.Exec(`SELECT * FROM papers TO PREDICT WITH alpha=0.5 USING m;`)
+	if err == nil || !strings.Contains(err.Error(), "only threshold and degraded") {
+		t.Fatalf("PREDICT WITH alpha = %v, want allow-list rejection", err)
+	}
+	// The allowed pair passes together (degraded is a no-op on a clean
+	// in-memory table — the knob is legal, not required to skip anything).
+	mustExec(t, s, `SELECT * FROM papers TO PREDICT WITH threshold=0.25, degraded=true USING m;`)
+	// TRAIN still rejects degraded=... nothing: TRAIN accepts it as a knob.
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=1, degraded=false INTO m2;`)
+}
+
+// TestModelNeverServedDegraded: rot inside a model's coefficient pages
+// condemns the model pair at recovery — a later PREDICT sees an unknown
+// model, never silently-wrong coefficients, and the source table is
+// untouched.
+func TestModelNeverServedDegraded(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.Forest(300, 5)
+	dst, err := cat.Create("papers", src.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	s := &Session{Cat: cat, Out: &out}
+	mustExec(t, s, `SELECT vec, label FROM papers TO TRAIN lr WITH epochs=4, seed=1 INTO m;`)
+	if err := cat.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptHeapPage(t, dir, "m", 0)
+
+	cat2, err := engine.OpenFileCatalog(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	if reason := cat2.Recovery.Skipped["m"]; !strings.Contains(reason, "never served degraded") {
+		t.Fatalf("Skipped[m] = %q", reason)
+	}
+	s2 := &Session{Cat: cat2, Out: &out}
+	err = s2.Exec(`SELECT * FROM papers TO PREDICT USING m;`)
+	var ume *UnknownModelError
+	if !errors.As(err, &ume) {
+		t.Fatalf("PREDICT over condemned model = %v, want UnknownModelError", err)
+	}
+	// Degraded opt-in does not resurrect a condemned model either.
+	err = s2.Exec(`SELECT * FROM papers TO PREDICT WITH degraded=true USING m;`)
+	if !errors.As(err, &ume) {
+		t.Fatalf("degraded PREDICT over condemned model = %v, want UnknownModelError", err)
+	}
+	// The clean source table is still fully readable.
+	out.Reset()
+	mustExec(t, s2, `CHECK TABLE papers;`)
+	if !strings.Contains(out.String(), "all checksums ok") {
+		t.Fatalf("papers after model condemnation: %s", out.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 
 	"bismarck/internal/baselines"
@@ -113,6 +114,10 @@ func (s *Session) Run(st *spec.Statement) error {
 		return s.showModels()
 	case spec.KindShowShards:
 		return s.showShards(st)
+	case spec.KindShowScrub:
+		return s.showScrub()
+	case spec.KindCheckTable:
+		return s.checkTable(st)
 	case spec.KindShowJobs, spec.KindWaitJob, spec.KindCancelJob:
 		return fmt.Errorf("sqlish: %v needs the job scheduler — connect to a bismarckd server", st.Kind)
 	case spec.KindTrain:
@@ -142,7 +147,7 @@ func (s *Session) prepare(st *spec.Statement) (*spec.TaskSpec, spec.Knobs, spec.
 	if err != nil {
 		return nil, spec.Knobs{}, nil, nil, err
 	}
-	view, err := s.projectFrom(st, ts.Schema, spec.ViewOptions{})
+	view, err := s.projectFrom(st, ts.Schema, spec.ViewOptions{Degraded: knobs.Degraded})
 	if err != nil {
 		return nil, spec.Knobs{}, nil, nil, err
 	}
@@ -265,6 +270,95 @@ func renderCounts(counts []int) string {
 	return strings.Join(parts, " ")
 }
 
+// checkTable runs CHECK TABLE <t>: an on-demand scrub that re-reads every
+// page of the table's heap from disk, verifies its checksum, and
+// quarantines fresh failures. The scrub mutates only the heap's internally
+// locked quarantine set, so the table's shared lock is enough — concurrent
+// readers proceed, and writers (which take the exclusive lock) queue.
+func (s *Session) checkTable(st *spec.Statement) error {
+	defer s.rlockName(st.From)()
+	tbl, err := s.Cat.Get(st.From)
+	if err != nil {
+		return err
+	}
+	rep := tbl.Scrub()
+	if rep.Clean() {
+		fmt.Fprintf(s.Out, "table %q: %d pages, all checksums ok\n", st.From, rep.Pages)
+		return nil
+	}
+	fmt.Fprintf(s.Out, "table %q: %d pages, %d newly quarantined, %d quarantined total\n",
+		st.From, rep.Pages, len(rep.NewBad), len(rep.Bad))
+	for _, pg := range sortedPages(rep.Bad) {
+		fmt.Fprintf(s.Out, "  page %d: %s\n", pg, rep.Bad[pg])
+	}
+	return nil
+}
+
+// showScrub runs SHOW SCRUB: the scrub state of every table — page count
+// plus the pages quarantined by recovery, past CHECK TABLE runs, or scan
+// failures. It only reads state; CHECK TABLE re-verifies on demand.
+func (s *Session) showScrub() error {
+	for _, name := range s.Cat.Names() {
+		unlock := s.rlockName(name)
+		tbl, err := s.Cat.Get(name)
+		if err != nil {
+			unlock()
+			continue
+		}
+		pages := tbl.NumPages()
+		quar := tbl.QuarantinedPages()
+		unlock()
+		if len(quar) == 0 {
+			fmt.Fprintf(s.Out, "%-12s %d pages, clean\n", name, pages)
+			continue
+		}
+		fmt.Fprintf(s.Out, "%-12s %d pages, %d quarantined: %s\n",
+			name, pages, len(quar), renderPageRanges(sortedPages(quar)))
+	}
+	return nil
+}
+
+// sortedPages returns the quarantine map's page numbers in order.
+func sortedPages(m map[int]string) []int {
+	pages := make([]int, 0, len(m))
+	for pg := range m {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	return pages
+}
+
+// renderPageRanges compresses a sorted page list into "3-5, 9" ranges so a
+// long contiguous quarantine does not flood the output.
+func renderPageRanges(pages []int) string {
+	var parts []string
+	for i := 0; i < len(pages); {
+		j := i
+		for j+1 < len(pages) && pages[j+1] == pages[j]+1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("%d-%d", pages[i], pages[j]))
+		} else {
+			parts = append(parts, fmt.Sprint(pages[i]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ", ")
+}
+
+// reportDegraded prints what a degraded projection stepped over, so a
+// statement that lost rows to quarantined pages says so in its result.
+// The row count is a lower bound: pages whose record count was never
+// readable contribute only to the page count.
+func (s *Session) reportDegraded(view *spec.View) {
+	if view.Skipped.SkippedPages == 0 && view.Skipped.SkippedRows == 0 {
+		return
+	}
+	fmt.Fprintf(s.Out, "degraded scan: skipped %d corrupt pages (>=%d rows)\n",
+		view.Skipped.SkippedPages, view.Skipped.SkippedRows)
+}
+
 // train runs a TO TRAIN statement end-to-end.
 func (s *Session) train(st *spec.Statement) error {
 	if st.Async {
@@ -274,6 +368,7 @@ func (s *Session) train(st *spec.Statement) error {
 	if err != nil {
 		return err
 	}
+	s.reportDegraded(view)
 	task, err := ts.Build(spec.BuildInput{Params: params, View: view.Table})
 	if err != nil {
 		return err
@@ -357,17 +452,21 @@ func (s *Session) restore(st *spec.Statement, opt spec.ViewOptions) (*spec.TaskS
 	fail := func(err error) (*spec.TaskSpec, core.Task, vector.Dense, *spec.View, spec.Knobs, error) {
 		return nil, nil, nil, nil, spec.Knobs{}, err
 	}
-	// Only the threshold knob means anything here; reject training knobs
+	// Only the scoring-time knobs mean anything here; reject training knobs
 	// (epochs, alpha, order, ...) instead of silently ignoring a typo.
 	for _, pr := range st.With {
-		if pr.Key != spec.KnobThreshold {
-			return fail(fmt.Errorf("sqlish: parameter %q is not valid for %v (only threshold)", pr.Key, st.Kind))
+		if pr.Key != spec.KnobThreshold && pr.Key != spec.KnobDegraded {
+			return fail(fmt.Errorf("sqlish: parameter %q is not valid for %v (only threshold and degraded)", pr.Key, st.Kind))
 		}
 	}
 	knobs, _, err := spec.SplitKnobs(st.With)
 	if err != nil {
 		return fail(err)
 	}
+	// degraded applies to the source-data scan only; the model and metadata
+	// loads below stay strict — a model with quarantined pages must never
+	// silently score with a subset of its coefficients.
+	opt.Degraded = knobs.Degraded
 	// The model name's shared lock spans both the metadata and coefficient
 	// reads, so a concurrent re-TRAIN of the same name can never hand us
 	// metadata from one model generation and coefficients from another.
@@ -417,6 +516,7 @@ func (s *Session) predict(st *spec.Statement) error {
 	if err != nil {
 		return err
 	}
+	s.reportDegraded(view)
 	if ts.Predict == nil {
 		return fmt.Errorf("sqlish: task %s does not support PREDICT (use TO EVALUATE)", ts.Name)
 	}
@@ -506,6 +606,7 @@ func (s *Session) evaluate(st *spec.Statement) error {
 	if err != nil {
 		return err
 	}
+	s.reportDegraded(view)
 	fmt.Fprintf(s.Out, "%s %q on %s: ", ts.Name, st.Model, st.From)
 	if ts.Evaluate != nil {
 		return ts.Evaluate(task, w, view.Table, knobs.Threshold, s.Out)
