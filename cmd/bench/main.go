@@ -99,12 +99,14 @@ type benchFile struct {
 	Benches   []benchEntry   `json:"benches"`
 	Serving   []servingEntry `json:"serving"`
 	Speedups  struct {
-		DenseLRCachedVsDecode   float64 `json:"dense_lr_cached_vs_decode"`
-		SparseSVMCachedVsDecode float64 `json:"sparse_svm_cached_vs_decode"`
-		DenseLRSharded4wVs1w    float64 `json:"dense_lr_sharded_4w_vs_1w"`
-		SparseSVMSharded4wVs1w  float64 `json:"sparse_svm_sharded_4w_vs_1w"`
-		ServeBatch8VsPoint1c    float64 `json:"serve_batch8_vs_point_1c"`
-		ServePoint4cVs1c        float64 `json:"serve_point_4c_vs_1c"`
+		DenseLRCachedVsDecode    float64 `json:"dense_lr_cached_vs_decode"`
+		SparseSVMCachedVsDecode  float64 `json:"sparse_svm_cached_vs_decode"`
+		DenseLRSharded4wVs1w     float64 `json:"dense_lr_sharded_4w_vs_1w"`
+		SparseSVMSharded4wVs1w   float64 `json:"sparse_svm_sharded_4w_vs_1w"`
+		ServeBatch8VsPoint1c     float64 `json:"serve_batch8_vs_point_1c"`
+		ServePoint4cVs1c         float64 `json:"serve_point_4c_vs_1c"`
+		ServeWireBinVsTextPoint  float64 `json:"serve_wire_bin_vs_text_point"`
+		ServeWireBinVsTextBatch8 float64 `json:"serve_wire_bin_vs_text_batch8"`
 	} `json:"speedups"`
 }
 
@@ -129,7 +131,9 @@ func writeBenchJSON(path string, seed int64) error {
 			"materialized columnar row cache, sharded/Kw = K shared-nothing " +
 			"shard workers merged by row-weighted model averaging; serving " +
 			"entries: preds/sec through the point-PREDICT plane (hot snapshot " +
-			"cache + admission gate) at Nc concurrent clients",
+			"cache + admission gate) at Nc concurrent clients; wire-text/-bin " +
+			"entries go through a real TCP server with pipelined frames in the " +
+			"text and negotiated binary encodings",
 	}
 	rows := map[string]float64{}
 	for _, c := range cases {
@@ -177,6 +181,12 @@ func writeBenchJSON(path string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	wireCases, wireClose, err := experiments.ServingWireCases(seed)
+	if err != nil {
+		return err
+	}
+	defer wireClose()
+	servingCases = append(servingCases, wireCases...)
 	preds := map[string]float64{}
 	for _, c := range servingCases {
 		c := c
@@ -203,6 +213,12 @@ func writeBenchJSON(path string, seed int64) error {
 	if d := preds["serve-lr/point/1c"]; d > 0 {
 		out.Speedups.ServeBatch8VsPoint1c = preds["serve-lr/batch8/1c"] / d
 		out.Speedups.ServePoint4cVs1c = preds["serve-lr/point/4c"] / d
+	}
+	if d := preds["wire-text/point/1c"]; d > 0 {
+		out.Speedups.ServeWireBinVsTextPoint = preds["wire-bin/point/1c"] / d
+	}
+	if d := preds["wire-text/batch8/1c"]; d > 0 {
+		out.Speedups.ServeWireBinVsTextBatch8 = preds["wire-bin/batch8/1c"] / d
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

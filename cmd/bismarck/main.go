@@ -152,6 +152,7 @@ func statementLoop(exec func(text string)) {
 			fmt.Println("  PREDICT VALUES (...), (...) USING model;      -- batched, one model generation")
 			fmt.Println("  SHOW TASKS;  SHOW TABLES;  SHOW MODELS;  SHOW SHARDS t [k];")
 			fmt.Println("  SHOW JOBS;  WAIT JOB n;  CANCEL JOB n;    (with -connect)")
+			fmt.Println("  SHOW SERVING;                             -- serving-plane gate + per-model hits/fills/sheds")
 			fmt.Println("  CHECK TABLE t;  SHOW SCRUB;               -- verify page checksums / list quarantined pages")
 			fmt.Println("  (WITH degraded=true skips quarantined pages in source scans, reporting rows skipped)")
 			fmt.Println("  (SHOW TASKS marks tasks scorable by inline PREDICT with [point])")
@@ -216,6 +217,16 @@ func execOne(sess *sqlish.Session, plane *serve.Plane, stmt string) error {
 		}
 		for _, v := range scores {
 			fmt.Fprintf(sess.Out, "%.6g\n", v)
+		}
+		return nil
+	}
+	if st.Kind == spec.KindShowServing && plane != nil {
+		gs, models := plane.Stats()
+		fmt.Fprintf(sess.Out, "gate inflight=%d/%d queued=%d/%d models=%d\n",
+			gs.Inflight, gs.InflightCap, gs.Queued, gs.QueueCap, gs.Models)
+		for _, ms := range models {
+			fmt.Fprintf(sess.Out, "model %-12s hits=%-6d fills=%-4d sheds=%-4d queued=%-3d retry_after_ms=%d\n",
+				ms.Model, ms.Hits, ms.Fills, ms.Sheds, ms.Queued, ms.RetryAfterMS)
 		}
 		return nil
 	}

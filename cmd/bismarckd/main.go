@@ -17,9 +17,13 @@
 //
 // Inline point-PREDICT is served from the hot-model cache, either as a
 // statement or pipelined many-at-a-time with "@<id> <stmt>" frames
-// (answered "@<id> OK <scores>" / "@<id> ERR <msg>", out of order). The
-// -serve-inflight / -serve-queue flags size its admission control: past
-// the queue the daemon sheds with "ERR busy: ... retry_after_ms=<hint>".
+// (answered "@<id> OK <scores>" / "@<id> ERR <msg>", out of order); a
+// client can negotiate the length-prefixed binary encoding with "@bin".
+// The -serve-inflight / -serve-queue flags size the plane's global
+// admission control and -serve-model-inflight / -serve-model-queue one
+// model's share of it: past a queue the daemon sheds with "ERR busy: ...
+// retry_after_ms=<hint>". -serve-warm pre-decodes persisted models at
+// start, and SHOW SERVING reports the per-model serving counters.
 //
 // On SIGINT/SIGTERM the daemon stops accepting, cancels still-queued
 // jobs, lets running jobs finish and commit, and saves the catalog before
@@ -40,22 +44,26 @@ import (
 
 func main() {
 	var (
-		dataDir = flag.String("data", "./bismarck-data", "catalog directory")
-		listen  = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
-		workers = flag.Int("workers", 0, "async TRAIN worker pool size (0 = NumCPU, max 8)")
-		epochs  = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
-		alpha   = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
-		serveIn = flag.Int("serve-inflight", 0, "concurrent point-PREDICT scoring slots (0 = GOMAXPROCS)")
-		serveQ  = flag.Int("serve-queue", 0, "point-PREDICT waiters beyond the slots before shedding with ERR busy (0 = 4x slots)")
+		dataDir   = flag.String("data", "./bismarck-data", "catalog directory")
+		listen    = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		workers   = flag.Int("workers", 0, "async TRAIN worker pool size (0 = NumCPU, max 8)")
+		epochs    = flag.Int("epochs", 0, "default training epochs when a statement sets none (0 = 20)")
+		alpha     = flag.Float64("alpha", 0, "default initial step size when a statement sets none (0 = task preference)")
+		serveIn   = flag.Int("serve-inflight", 0, "concurrent point-PREDICT scoring slots (0 = GOMAXPROCS)")
+		serveQ    = flag.Int("serve-queue", 0, "point-PREDICT waiters beyond the slots before shedding with ERR busy (0 = 4x slots)")
+		serveMIn  = flag.Int("serve-model-inflight", 0, "one model's concurrent scoring slots (0 = the global slots)")
+		serveMQ   = flag.Int("serve-model-queue", 0, "one model's waiters before shedding (0 = half the global queue)")
+		serveWarm = flag.Bool("serve-warm", true, "pre-decode every persisted model into the serving cache at start")
 	)
 	flag.Parse()
-	if err := run(*dataDir, *listen, *workers, *epochs, *alpha, *serveIn, *serveQ); err != nil {
+	if err := run(*dataDir, *listen, *workers, *epochs, *alpha,
+		*serveIn, *serveQ, *serveMIn, *serveMQ, *serveWarm); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarckd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, serveQ int) error {
+func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, serveQ, serveMIn, serveMQ int, serveWarm bool) error {
 	cat, err := engine.OpenFileCatalog(dataDir, 0)
 	if err != nil {
 		return err
@@ -81,8 +89,18 @@ func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, se
 		}
 	}
 	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha,
-		ServeInflight: serveIn, ServeQueue: serveQ})
+		ServeInflight: serveIn, ServeQueue: serveQ,
+		ServeModelInflight: serveMIn, ServeModelQueue: serveMQ})
 	srv := server.NewTCPServer(mgr)
+
+	// Warm-start: decode every persisted model into the serving cache before
+	// accepting connections, so the first PREDICT after a restart is a cache
+	// hit instead of a decode behind the fill mutex.
+	if serveWarm {
+		if warmed := mgr.Plane().Warm(); len(warmed) > 0 {
+			fmt.Printf("bismarckd: warmed %d model(s) into the serving cache: %v\n", len(warmed), warmed)
+		}
+	}
 
 	lis, err := net.Listen("tcp", listen)
 	if err != nil {

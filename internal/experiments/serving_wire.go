@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"bismarck/internal/data"
+	"bismarck/internal/engine"
+	"bismarck/internal/server"
+)
+
+// ServingWireFrames is how many pipelined frames one wire-case Run sends,
+// sized so one op is milliseconds.
+const ServingWireFrames = 2000
+
+// servingWireWindow is how many frames stay in flight per round.
+const servingWireWindow = 50
+
+// ServingWireCases builds the wire-level serving family: the same dense
+// LR model as ServingCases, but scored through a real TCP bismarckd
+// server with pipelined frames — text "@<id> PREDICT ..." against the
+// negotiated binary encoding, at batch 1 and 8. The text/binary pairs
+// share shape and window, so their preds/sec ratio is the cost of the
+// text encoding itself (statement parse, %.6g formatting, strconv on the
+// way back). close stops the server; call it when done with the cases.
+func ServingWireCases(seed int64) (cases []ServingCase, close func(), err error) {
+	cat := engine.NewCatalog()
+	src := data.Forest(4000, seed)
+	tbl, err := cat.Create("papers", src.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := src.CopyTo(tbl); err != nil {
+		return nil, nil, err
+	}
+	// Queue sized far above the pipeline window: the family measures
+	// throughput, not shed policy, so nothing should ever answer busy.
+	mgr := server.NewManager(cat, server.Options{
+		Workers: 1, ServeInflight: 16, ServeQueue: 1 << 16})
+	srv := server.NewTCPServer(mgr)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(lis)
+	close = func() { srv.Close() }
+	defer func() {
+		if err != nil {
+			close()
+		}
+	}()
+
+	ctrl, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := ctrl.Exec(`SELECT vec, label FROM papers TO TRAIN lr
+		WITH alpha=0.1, epochs=3, seed=7 INTO m;`); err != nil {
+		return nil, nil, err
+	}
+	ctrl.Close()
+
+	probe := make([]float64, 54)
+	for i := range probe {
+		probe[i] = float64(i%7) / 7
+	}
+	shapes := []struct {
+		name  string
+		batch int
+	}{
+		{"point", 1},
+		{"batch8", 8},
+	}
+	for _, shape := range shapes {
+		points := make([][]float64, shape.batch)
+		for i := range points {
+			points[i] = probe
+		}
+		// The text statement is prebuilt: per-frame cost is the wire and
+		// the server's parse/format, not client-side fmt.
+		var sb strings.Builder
+		if shape.batch == 1 {
+			sb.WriteString("PREDICT (")
+			writeTuple(&sb, probe)
+			sb.WriteString(") USING m")
+		} else {
+			sb.WriteString("PREDICT VALUES ")
+			for i := range points {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("(")
+				writeTuple(&sb, probe)
+				sb.WriteString(")")
+			}
+			sb.WriteString(" USING m")
+		}
+		stmt := sb.String()
+
+		for _, enc := range []string{"text", "bin"} {
+			enc, shape, points := enc, shape, points
+			cl, err := server.Dial(lis.Addr().String())
+			if err != nil {
+				return nil, nil, err
+			}
+			if enc == "bin" {
+				if err := cl.Binary(); err != nil {
+					return nil, nil, err
+				}
+			}
+			cases = append(cases, ServingCase{
+				Name:  fmt.Sprintf("wire-%s/%s/1c", enc, shape.name),
+				Preds: ServingWireFrames * shape.batch,
+				Run: func() error {
+					id := uint64(0)
+					for sent := 0; sent < ServingWireFrames; sent += servingWireWindow {
+						for i := 0; i < servingWireWindow; i++ {
+							id++
+							var err error
+							if enc == "bin" {
+								err = cl.SendBinPredict(id, "m", points)
+							} else {
+								err = cl.SendFrame(id, stmt)
+							}
+							if err != nil {
+								return err
+							}
+						}
+						for i := 0; i < servingWireWindow; i++ {
+							var f server.Frame
+							var err error
+							if enc == "bin" {
+								f, err = cl.ReadBinFrame()
+							} else {
+								f, err = cl.ReadFrame()
+							}
+							if err != nil {
+								return err
+							}
+							if f.Err != "" {
+								return fmt.Errorf("frame %d: %s", f.ID, f.Err)
+							}
+							if len(f.Scores) != shape.batch {
+								return fmt.Errorf("frame %d: %d scores, want %d", f.ID, len(f.Scores), shape.batch)
+							}
+						}
+					}
+					return nil
+				},
+			})
+		}
+	}
+	return cases, close, nil
+}
+
+// writeTuple renders a probe as comma-separated values.
+func writeTuple(sb *strings.Builder, vals []float64) {
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%g", v)
+	}
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"bismarck/internal/serve"
+	"bismarck/internal/spec"
+)
+
+// Binary frames are the negotiated high-rate encoding for pipelined
+// point-PREDICT (see proto.go for the "@bin" handshake). After the
+// handshake the connection carries length-prefixed frames exclusively,
+// both directions:
+//
+//	u32 LE payload length | payload
+//
+// Request payload (client → server):
+//
+//	u8  opcode        — 1 = predict
+//	u64 LE id         — client-chosen, >= 1 (0 reserved, as in text frames)
+//	u16 LE model len  | model name bytes (UTF-8)
+//	u16 LE npoints    | u16 LE arity
+//	f64 LE × npoints×arity — point values, row-major
+//
+// Response payload (server → client):
+//
+//	u8  status        — 0 = OK, 1 = ERR
+//	u64 LE id
+//	OK:  u16 LE n | f64 LE × n scores
+//	ERR: u16 LE len | message bytes
+//
+// Batches are rectangular by construction (one arity for the whole
+// frame), which is also what the text grammar accepts for a single
+// model. The encoding exists to kill the per-request strconv/Sprintf
+// and %.6g formatting of the text frames: the server's steady-state
+// binary path — decode, admit, score, encode — performs zero heap
+// allocations per request, reusing one set of buffers per connection.
+const (
+	binOpPredict  = 1
+	binStatusOK   = 0
+	binStatusErr  = 1
+	binReqHeader  = 1 + 8 + 2 // opcode, id, model length
+	binRespHeader = 1 + 8     // status, id
+
+	// maxBinFrameBytes caps one frame's payload, mirroring the text
+	// protocol's line cap: a peer announcing a huge length must not make
+	// us allocate it.
+	maxBinFrameBytes = 1 << 20
+)
+
+// appendBinRequest encodes one predict request frame (length prefix
+// included) onto buf. The batch must be rectangular and inside the spec
+// caps — the same limits the parser enforces on text frames.
+func appendBinRequest(buf []byte, id uint64, model string, points [][]float64) ([]byte, error) {
+	if id == 0 {
+		return buf, fmt.Errorf("server: frame ids start at 1 (0 is the server's unattributable-error id)")
+	}
+	if len(model) == 0 || len(model) > math.MaxUint16 {
+		return buf, fmt.Errorf("server: binary frame model name length %d out of range", len(model))
+	}
+	if len(points) == 0 || len(points) > spec.MaxPointBatch {
+		return buf, fmt.Errorf("server: binary frame batch of %d points (want 1..%d)", len(points), spec.MaxPointBatch)
+	}
+	arity := len(points[0])
+	if arity == 0 || arity > spec.MaxPointValues {
+		return buf, fmt.Errorf("server: binary frame arity %d (want 1..%d)", arity, spec.MaxPointValues)
+	}
+	for i, row := range points {
+		if len(row) != arity {
+			return buf, fmt.Errorf("server: binary frames are rectangular: point %d has %d values, point 0 has %d", i, len(row), arity)
+		}
+	}
+	payload := binReqHeader + len(model) + 4 + 8*len(points)*arity
+	if payload > maxBinFrameBytes {
+		return buf, fmt.Errorf("server: binary frame payload %d exceeds %d bytes", payload, maxBinFrameBytes)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = append(buf, binOpPredict)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(model)))
+	buf = append(buf, model...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(points)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(arity))
+	for _, row := range points {
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// binRequest is one decoded predict request. Its slices view or reuse
+// per-connection backing arrays: the model bytes alias the read buffer
+// (valid only until the next frame is read), and flat/points grow to the
+// largest batch seen then stay — the zero-allocation steady state.
+type binRequest struct {
+	id     uint64
+	model  []byte
+	flat   []float64
+	points [][]float64
+}
+
+// decode parses payload into r, reusing r's backing arrays. r.id is set
+// as soon as the header parses so the caller can attribute errors from
+// the rest of the payload to the client's id.
+func (r *binRequest) decode(payload []byte) error {
+	r.id = 0
+	if len(payload) < binReqHeader {
+		return fmt.Errorf("server: binary frame payload %d bytes, header alone is %d", len(payload), binReqHeader)
+	}
+	op := payload[0]
+	r.id = binary.LittleEndian.Uint64(payload[1:9])
+	mlen := int(binary.LittleEndian.Uint16(payload[9:11]))
+	if op != binOpPredict {
+		return fmt.Errorf("server: unknown binary frame opcode %d", op)
+	}
+	if r.id == 0 {
+		return fmt.Errorf("server: frame id 0 is reserved for unattributable errors; use ids >= 1")
+	}
+	rest := payload[binReqHeader:]
+	if len(rest) < mlen+4 {
+		return fmt.Errorf("server: binary frame truncated inside model name")
+	}
+	r.model = rest[:mlen]
+	npoints := int(binary.LittleEndian.Uint16(rest[mlen:]))
+	arity := int(binary.LittleEndian.Uint16(rest[mlen+2:]))
+	if npoints == 0 || npoints > spec.MaxPointBatch {
+		return fmt.Errorf("server: binary frame batch of %d points (want 1..%d)", npoints, spec.MaxPointBatch)
+	}
+	if arity == 0 || arity > spec.MaxPointValues {
+		return fmt.Errorf("server: binary frame arity %d (want 1..%d)", arity, spec.MaxPointValues)
+	}
+	vals := rest[mlen+4:]
+	if len(vals) != 8*npoints*arity {
+		return fmt.Errorf("server: binary frame carries %d value bytes, %d×%d points need %d", len(vals), npoints, arity, 8*npoints*arity)
+	}
+	need := npoints * arity
+	if cap(r.flat) < need {
+		r.flat = make([]float64, need)
+	}
+	r.flat = r.flat[:need]
+	for i := range r.flat {
+		r.flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(vals[8*i:]))
+	}
+	if cap(r.points) < npoints {
+		r.points = make([][]float64, npoints)
+	}
+	r.points = r.points[:npoints]
+	for i := range r.points {
+		r.points[i] = r.flat[i*arity : (i+1)*arity]
+	}
+	return nil
+}
+
+// appendBinOK encodes a success response frame (length prefix included).
+func appendBinOK(buf []byte, id uint64, scores []float64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(binRespHeader+2+8*len(scores)))
+	buf = append(buf, binStatusOK)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(scores)))
+	for _, v := range scores {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// appendBinErr encodes an error response frame (length prefix included).
+// Long messages are truncated to the u16 length field.
+func appendBinErr(buf []byte, id uint64, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(binRespHeader+2+len(msg)))
+	buf = append(buf, binStatusErr)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	return buf
+}
+
+// readBinFrame reads one length-prefixed frame, reusing *buf as the
+// payload buffer (grown as needed). The returned slice aliases *buf and
+// is valid until the next call.
+func readBinFrame(r io.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxBinFrameBytes {
+		return nil, fmt.Errorf("server: binary frame length %d (want 1..%d)", n, maxBinFrameBytes)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	if _, err := io.ReadFull(r, *buf); err != nil {
+		return nil, err
+	}
+	return *buf, nil
+}
+
+// decodeBinResponse parses a response payload into the client's Frame
+// shape (scores allocated fresh — the client side is not the hot path).
+func decodeBinResponse(payload []byte) (Frame, error) {
+	if len(payload) < binRespHeader+2 {
+		return Frame{}, fmt.Errorf("server: binary response payload %d bytes, header alone is %d", len(payload), binRespHeader+2)
+	}
+	status := payload[0]
+	f := Frame{ID: binary.LittleEndian.Uint64(payload[1:9])}
+	n := int(binary.LittleEndian.Uint16(payload[9:11]))
+	rest := payload[11:]
+	switch status {
+	case binStatusOK:
+		if len(rest) != 8*n {
+			return Frame{}, fmt.Errorf("server: binary response carries %d score bytes, header says %d scores", len(rest), n)
+		}
+		f.Scores = make([]float64, n)
+		for i := range f.Scores {
+			f.Scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+	case binStatusErr:
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("server: binary response carries %d message bytes, header says %d", len(rest), n)
+		}
+		f.Err = string(rest)
+		if f.Err == "" {
+			f.Err = "unspecified server error"
+		}
+	default:
+		return Frame{}, fmt.Errorf("server: unknown binary response status %d", status)
+	}
+	return f, nil
+}
+
+// binSession is one binary-mode connection's serving state: the decoded
+// request, the scores and output buffers, and the memoized model name.
+// All of it is reused frame to frame — after warm-up, handling a request
+// allocates nothing.
+type binSession struct {
+	plane  *serve.Plane
+	req    binRequest
+	scores []float64
+	out    []byte
+	model  string // memoized: re-made only when the frame's model changes
+}
+
+// handle serves one request payload, leaving the response frame in
+// b.out. cancel aborts a queued admission wait (connection/server
+// teardown); handle reports false only then — every other failure is an
+// error frame for the client.
+func (b *binSession) handle(payload []byte, cancel <-chan struct{}) bool {
+	if err := b.req.decode(payload); err != nil {
+		b.out = appendBinErr(b.out[:0], b.req.id, oneLine(err.Error()))
+		return true
+	}
+	// Scoring wants a string key; pipelining clients hammer one model, so
+	// memoize the conversion instead of allocating it per frame (the
+	// comparison form below is alloc-free; only a model switch converts).
+	if string(b.req.model) != b.model {
+		b.model = string(b.req.model)
+	}
+	ad, err := b.plane.Admit(b.model)
+	if err != nil {
+		b.out = appendBinErr(b.out[:0], b.req.id, oneLine(err.Error()))
+		return true
+	}
+	if !ad.Wait(cancel) {
+		return false
+	}
+	if cap(b.scores) < len(b.req.points) {
+		b.scores = make([]float64, len(b.req.points))
+	}
+	b.scores = b.scores[:len(b.req.points)]
+	_, serr := ad.Score(b.model, b.req.points, b.scores)
+	ad.Release()
+	if serr != nil {
+		b.out = appendBinErr(b.out[:0], b.req.id, oneLine(serr.Error()))
+		return true
+	}
+	b.out = appendBinOK(b.out[:0], b.req.id, b.scores)
+	return true
+}
+
+// serveBinary runs the post-handshake binary loop: read a frame, score it
+// synchronously, write the response. Synchronous is deliberate — binary
+// mode exists for throughput, where per-request goroutines buy reordering
+// nobody asked for at the cost of the zero-allocation path; a client
+// wanting server-side overlap opens connections. Requests parked on a
+// full admission queue abandon their booking when the server closes
+// (s.closing), and write failures close the connection so the read side
+// unblocks — the same teardown discipline as the text loop.
+func (s *TCPServer) serveBinary(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	b := binSession{plane: s.m.plane}
+	var payload []byte
+	for {
+		p, err := readBinFrame(br, &payload)
+		if err != nil {
+			return
+		}
+		if !b.handle(p, s.closing) {
+			return
+		}
+		wmu.Lock()
+		_, werr := w.Write(b.out)
+		if ferr := w.Flush(); werr == nil {
+			werr = ferr
+		}
+		wmu.Unlock()
+		if werr != nil {
+			conn.Close()
+			return
+		}
+	}
+}

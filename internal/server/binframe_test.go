@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"bismarck/internal/engine"
+)
+
+// TestBinFrameCodecRoundTrip: every request field survives
+// encode → decode, and responses survive both shapes.
+func TestBinFrameCodecRoundTrip(t *testing.T) {
+	points := [][]float64{{1.5, -2.25}, {0, math.MaxFloat64}}
+	frame, err := appendBinRequest(nil, 42, "my model", points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(frame); int(got) != len(frame)-4 {
+		t.Fatalf("length prefix %d, payload is %d", got, len(frame)-4)
+	}
+	var req binRequest
+	if err := req.decode(frame[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if req.id != 42 || string(req.model) != "my model" || len(req.points) != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	for i := range points {
+		for j := range points[i] {
+			if req.points[i][j] != points[i][j] {
+				t.Fatalf("point[%d][%d] = %v, want %v", i, j, req.points[i][j], points[i][j])
+			}
+		}
+	}
+
+	ok := appendBinOK(nil, 7, []float64{3.5, -0.125})
+	f, err := decodeBinResponse(ok[4:])
+	if err != nil || f.ID != 7 || f.Err != "" || len(f.Scores) != 2 || f.Scores[0] != 3.5 || f.Scores[1] != -0.125 {
+		t.Fatalf("OK response: %+v, %v", f, err)
+	}
+	er := appendBinErr(nil, 9, "it broke")
+	f, err = decodeBinResponse(er[4:])
+	if err != nil || f.ID != 9 || f.Err != "it broke" || f.Scores != nil {
+		t.Fatalf("ERR response: %+v, %v", f, err)
+	}
+}
+
+// TestBinFrameDecodeRejectsMalformed: corrupted payloads error instead of
+// panicking or mis-slicing, and the id is attributed whenever the header
+// parsed.
+func TestBinFrameDecodeRejectsMalformed(t *testing.T) {
+	good, err := appendBinRequest(nil, 5, "m", [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[4:]
+
+	var req binRequest
+	for name, corrupt := range map[string][]byte{
+		"empty":            {},
+		"short header":     payload[:5],
+		"bad opcode":       append([]byte{99}, payload[1:]...),
+		"truncated model":  payload[:binReqHeader],
+		"truncated values": payload[:len(payload)-3],
+		"id zero": func() []byte {
+			p := bytes.Clone(payload)
+			binary.LittleEndian.PutUint64(p[1:9], 0)
+			return p
+		}(),
+		"zero points": func() []byte {
+			p := bytes.Clone(payload)
+			binary.LittleEndian.PutUint16(p[binReqHeader+1:], 0)
+			return p
+		}(),
+	} {
+		if err := req.decode(corrupt); err == nil {
+			t.Errorf("%s: decode accepted %v", name, corrupt)
+		}
+	}
+	// Header-parsed corruption attributes the client's id.
+	if err := req.decode(payload[:len(payload)-3]); err == nil || req.id != 5 {
+		t.Fatalf("truncated payload should keep id 5 for attribution, got id=%d err=%v", req.id, err)
+	}
+
+	// A frame length outside the cap is refused before any allocation.
+	var buf []byte
+	huge := binary.LittleEndian.AppendUint32(nil, maxBinFrameBytes+1)
+	if _, err := readBinFrame(bytes.NewReader(huge), &buf); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	if _, err := readBinFrame(bytes.NewReader(binary.LittleEndian.AppendUint32(nil, 0)), &buf); err == nil {
+		t.Fatal("zero frame length accepted")
+	}
+}
+
+// TestBinSessionErrorFrames: a malformed payload reaching the serving
+// loop answers an attributed error frame, and the session keeps serving
+// valid frames afterwards.
+func TestBinSessionErrorFrames(t *testing.T) {
+	m := NewManager(engine.NewCatalog(), Options{Workers: 1})
+	seedSignSets(t, m)
+	sess := m.NewSession(discard{})
+	if err := sess.Exec(fmt.Sprintf(trainSignFmt, "pos", "")); err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := appendBinRequest(nil, 6, "m", [][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := binSession{plane: m.Plane()}
+
+	// Truncated values, but a parseable header: error frame on id 6.
+	if !b.handle(good[4:len(good)-3], nil) {
+		t.Fatal("handle reported teardown on a malformed payload")
+	}
+	if f, err := decodeBinResponse(b.out[4:]); err != nil || f.ID != 6 || f.Err == "" {
+		t.Fatalf("malformed payload response: %+v, %v", f, err)
+	}
+
+	// The session still serves.
+	if !b.handle(good[4:], nil) {
+		t.Fatal("handle reported teardown on a valid payload")
+	}
+	if f, err := decodeBinResponse(b.out[4:]); err != nil || f.ID != 6 || f.Err != "" || len(f.Scores) != 1 || f.Scores[0] < 5 {
+		t.Fatalf("valid payload response: %+v, %v", f, err)
+	}
+}

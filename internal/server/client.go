@@ -16,6 +16,11 @@ import (
 type Client struct {
 	conn net.Conn
 	sc   *bufio.Scanner
+
+	// Binary-mode state, nil/empty until Binary() negotiates the switch.
+	br      *bufio.Reader
+	sendBuf []byte
+	recvBuf []byte
 }
 
 // Dial connects and consumes the server banner.
@@ -175,6 +180,64 @@ func (c *Client) ReadFrame() (Frame, error) {
 		return Frame{}, fmt.Errorf("server: malformed frame payload %q", line)
 	}
 	return f, nil
+}
+
+// Binary negotiates the length-prefixed binary frame encoding for this
+// connection (see binframe.go for the layout): it sends the "@bin" line,
+// waits for the server's ack, and switches the client to binary-only
+// I/O — after a successful Binary only SendBinPredict/ReadBinFrame may be
+// used. Call it with no text frames in flight (the server answers those
+// before acking, and the responses would be misread as the ack).
+func (c *Client) Binary() error {
+	if c.br != nil {
+		return fmt.Errorf("server: connection already in binary mode")
+	}
+	if err := c.Send(BinHello); err != nil {
+		return err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("server: connection closed during binary negotiation")
+	}
+	if line := c.sc.Text(); line != BinHelloOK {
+		return fmt.Errorf("server: binary negotiation failed: got %q, want %q", line, BinHelloOK)
+	}
+	// The server sends nothing after the ack until our first binary
+	// frame, so a fresh reader on the raw connection misses no bytes.
+	c.br = bufio.NewReader(c.conn)
+	return nil
+}
+
+// SendBinPredict pipelines one binary predict frame (requires Binary()
+// first). Batches must be rectangular; ids must be >= 1 and are matched
+// back by ReadBinFrame like their text counterparts.
+func (c *Client) SendBinPredict(id uint64, model string, points [][]float64) error {
+	if c.br == nil {
+		return fmt.Errorf("server: SendBinPredict before Binary() negotiated binary mode")
+	}
+	buf, err := appendBinRequest(c.sendBuf[:0], id, model, points)
+	c.sendBuf = buf
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Write(buf)
+	return err
+}
+
+// ReadBinFrame consumes one binary response frame (requires Binary()
+// first). Like ReadFrame, a server-reported failure lands in Frame.Err
+// and the error return is transport/framing trouble only.
+func (c *Client) ReadBinFrame() (Frame, error) {
+	if c.br == nil {
+		return Frame{}, fmt.Errorf("server: ReadBinFrame before Binary() negotiated binary mode")
+	}
+	payload, err := readBinFrame(c.br, &c.recvBuf)
+	if err != nil {
+		return Frame{}, err
+	}
+	return decodeBinResponse(payload)
 }
 
 // Close closes the connection.

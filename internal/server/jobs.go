@@ -278,6 +278,12 @@ func (s *scheduler) run(job *Job) {
 		// model must survive an ungraceful death.
 		err = s.m.persistMeta()
 	}
+	if err == nil {
+		// Post-commit cache warming, same as a synchronous TRAIN: the first
+		// PREDICT against the new generation should not pay the decode.
+		// Best-effort — the per-request path reports real problems itself.
+		s.m.plane.Refill(job.Model)
+	}
 	job.settle(err, out.String())
 }
 

@@ -14,7 +14,7 @@ import (
 // seedSignSets creates two constant-label training sets over the same
 // feature point: lsq trained on "pos" scores (1,1) near +10, on "neg"
 // near -10 — the served sign identifies the model generation.
-func seedSignSets(t *testing.T, m *Manager) {
+func seedSignSets(t testing.TB, m *Manager) {
 	t.Helper()
 	for name, label := range map[string]float64{"pos": 10, "neg": -10} {
 		tbl, err := m.Catalog().Create(name, tasks.DenseExampleSchema)

@@ -46,6 +46,13 @@ import (
 // "@<id> ERR busy: ... retry_after_ms=<hint>" synchronously instead of
 // queueing unboundedly — and a batched frame is always scored against a
 // single model generation.
+//
+// Binary frames are the negotiated high-rate encoding: a client sends the
+// line "@bin" (where a statement could start) and, after the server
+// answers "@bin OK", the connection speaks length-prefixed binary frames
+// exclusively — see binframe.go for the layout. The handshake is
+// request/response: the client must not send binary bytes until the ack
+// arrives, and any text frames still in flight are answered before it.
 
 // maxStatementBytes caps one connection's accumulated statement buffer.
 const maxStatementBytes = 1 << 20
@@ -60,6 +67,12 @@ const (
 	TermErr = "ERR"
 	// FramePrefix starts a pipelined request or response frame.
 	FramePrefix = "@"
+	// BinHello is the binary-encoding negotiation line; the server
+	// acknowledges with BinHelloOK and switches the connection to
+	// length-prefixed binary frames.
+	BinHello = "@bin"
+	// BinHelloOK acknowledges BinHello.
+	BinHelloOK = "@bin OK"
 )
 
 // TCPServer serves a Manager over a listener, one session per connection.
@@ -171,9 +184,14 @@ func (s *TCPServer) handle(conn net.Conn) {
 	var wmu sync.Mutex
 	// cwg tracks this connection's in-flight frame workers; the handler
 	// waits them out before the deferred close so no worker writes to a
-	// freed connection.
+	// freed connection. done closes first (defers run LIFO): a frame
+	// worker still parked on the admission queue gives its booking back
+	// instead of burning a scoring slot on an answer nobody will read —
+	// the dead-client slot-leak fix.
 	var cwg sync.WaitGroup
+	done := make(chan struct{})
 	defer cwg.Wait()
+	defer close(done)
 
 	respond := func(err error) bool {
 		wmu.Lock()
@@ -197,11 +215,20 @@ func (s *TCPServer) handle(conn net.Conn) {
 		}
 		return w.Flush() == nil
 	}
+	// writeFrame surfaces write failures by closing the connection: a
+	// frame worker discovering a half-closed peer this way makes the
+	// reader's next Scan fail, so the connection tears down promptly
+	// instead of scoring frames it can never answer.
 	writeFrame := func(id uint64, payload string) {
 		wmu.Lock()
 		defer wmu.Unlock()
-		fmt.Fprintf(w, "%s%d %s\n", FramePrefix, id, payload)
-		w.Flush()
+		if _, err := fmt.Fprintf(w, "%s%d %s\n", FramePrefix, id, payload); err != nil {
+			conn.Close()
+			return
+		}
+		if w.Flush() != nil {
+			conn.Close()
+		}
 	}
 
 	fmt.Fprintf(&body, "bismarckd ready — statements end with ';'\n")
@@ -218,7 +245,24 @@ func (s *TCPServer) handle(conn net.Conn) {
 		// A pipelined frame is only a frame while no statement is being
 		// accumulated: mid-statement, a leading '@' is statement payload.
 		if buf.Len() == 0 && strings.HasPrefix(line, FramePrefix) {
-			s.serveFrame(line, writeFrame, &cwg)
+			if strings.TrimSpace(line) == BinHello {
+				// Binary negotiation: drain in-flight text frame workers
+				// first so nothing textual can interleave after the ack,
+				// then hand the connection to the binary loop for good.
+				cwg.Wait()
+				wmu.Lock()
+				_, werr := fmt.Fprintln(w, BinHelloOK)
+				if ferr := w.Flush(); werr == nil {
+					werr = ferr
+				}
+				wmu.Unlock()
+				if werr != nil {
+					return
+				}
+				s.serveBinary(conn, w, &wmu)
+				return
+			}
+			s.serveFrame(line, writeFrame, &cwg, done)
 			continue
 		}
 		buf.WriteString(line)
@@ -281,8 +325,10 @@ func (s *TCPServer) handle(conn net.Conn) {
 // and admission happen synchronously in the connection's reader — a shed
 // or malformed frame is answered without spawning anything, which bounds
 // the per-connection goroutine count by the gate's inflight+queue budget
-// no matter how fast a client pipelines.
-func (s *TCPServer) serveFrame(line string, write func(id uint64, payload string), cwg *sync.WaitGroup) {
+// no matter how fast a client pipelines. done closes at connection
+// teardown: a worker still queued for a slot then abandons its booking
+// (releasing the queue accounting) instead of scoring for a dead client.
+func (s *TCPServer) serveFrame(line string, write func(id uint64, payload string), cwg *sync.WaitGroup, done <-chan struct{}) {
 	id, stmt, err := parseFrameRequest(line)
 	if err != nil {
 		// id 0 is reserved for exactly this: a frame the server cannot
@@ -299,7 +345,7 @@ func (s *TCPServer) serveFrame(line string, write func(id uint64, payload string
 		write(id, fmt.Sprintf("%s frames carry inline point-PREDICT only, not %v — use the line protocol for other statements", TermErr, st.Kind))
 		return
 	}
-	tk, err := s.m.plane.Gate().Admit()
+	ad, err := s.m.plane.Admit(st.Model)
 	if err != nil {
 		write(id, TermErr+" "+oneLine(err.Error()))
 		return
@@ -307,10 +353,17 @@ func (s *TCPServer) serveFrame(line string, write func(id uint64, payload string
 	cwg.Add(1)
 	go func() {
 		defer cwg.Done()
-		tk.Wait()
-		defer tk.Release()
+		if !ad.Wait(done) {
+			return // connection torn down while queued; booking released
+		}
+		defer ad.Release()
+		select {
+		case <-done:
+			return // client left while we waited; don't score for nobody
+		default:
+		}
 		scores := make([]float64, len(st.Points))
-		if _, err := s.m.plane.Score(st.Model, st.Points, scores); err != nil {
+		if _, err := ad.Score(st.Model, st.Points, scores); err != nil {
 			write(id, TermErr+" "+oneLine(err.Error()))
 			return
 		}

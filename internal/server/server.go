@@ -51,6 +51,11 @@ type Options struct {
 	// GOMAXPROCS and 4× that).
 	ServeInflight int
 	ServeQueue    int
+	// ServeModelInflight / ServeModelQueue bound one model's share of the
+	// plane (0 = the plane's defaults: the global inflight, and half the
+	// global queue).
+	ServeModelInflight int
+	ServeModelQueue    int
 }
 
 // Hooks instruments the manager for deterministic concurrency tests.
@@ -95,7 +100,8 @@ func NewManager(cat *engine.Catalog, opts Options) *Manager {
 	// model's read lock exactly like a PREDICT statement, so a TRAIN
 	// holding the write lock across its save window is still decisive.
 	m.plane = serve.New(cat, m.locks, serve.Options{
-		Inflight: opts.ServeInflight, MaxQueue: opts.ServeQueue})
+		Inflight: opts.ServeInflight, MaxQueue: opts.ServeQueue,
+		ModelInflight: opts.ServeModelInflight, ModelQueue: opts.ServeModelQueue})
 	return m
 }
 
@@ -228,6 +234,15 @@ func (s *Session) Run(st *spec.Statement, text string) error {
 			fmt.Fprintf(s.out, "job %d canceled\n", job.ID)
 		}
 		return nil
+	case st.Kind == spec.KindShowServing:
+		gs, models := s.m.plane.Stats()
+		fmt.Fprintf(s.out, "gate inflight=%d/%d queued=%d/%d models=%d\n",
+			gs.Inflight, gs.InflightCap, gs.Queued, gs.QueueCap, gs.Models)
+		for _, ms := range models {
+			fmt.Fprintf(s.out, "model %-12s hits=%-6d fills=%-4d sheds=%-4d queued=%-3d retry_after_ms=%d\n",
+				ms.Model, ms.Hits, ms.Fills, ms.Sheds, ms.Queued, ms.RetryAfterMS)
+		}
+		return nil
 	case st.Kind == spec.KindPointPredict:
 		// Inline scoring goes through the serving plane: hot cached
 		// snapshots under admission control, instead of sqlish's per-
@@ -247,7 +262,17 @@ func (s *Session) Run(st *spec.Statement, text string) error {
 	// Catalog-mutating statements are checkpointed so their tables survive
 	// an ungraceful daemon death.
 	if st.Kind == spec.KindTrain || st.Kind == spec.KindPredict && st.Into != "" {
-		return s.m.persistMeta()
+		if err := s.m.persistMeta(); err != nil {
+			return err
+		}
+		// Post-commit cache warming: decode the fresh generation into the
+		// serving cache now, so the first PREDICT after the swap never pays
+		// the decode. Best-effort — a refill failure (e.g. PREDICT INTO a
+		// plain table that is not a model) leaves the cache consistent and
+		// the per-request path reports any real problem itself.
+		if st.Kind == spec.KindTrain {
+			s.m.plane.Refill(st.Into)
+		}
 	}
 	return nil
 }

@@ -76,6 +76,10 @@ const (
 	// KindShowScrub is SHOW SCRUB: report per-table page counts and
 	// quarantined page ranges from past scrubs and recovery.
 	KindShowScrub
+	// KindShowServing is SHOW SERVING: the serving plane's admission and
+	// cache picture — global gate occupancy plus per-model
+	// hits/fills/sheds/queued and the retry-after hint.
+	KindShowServing
 )
 
 // String implements fmt.Stringer.
@@ -107,6 +111,8 @@ func (k Kind) String() string {
 		return "CHECK TABLE"
 	case KindShowScrub:
 		return "SHOW SCRUB"
+	case KindShowServing:
+		return "SHOW SERVING"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

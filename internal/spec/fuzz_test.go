@@ -63,6 +63,7 @@ var seedStatements = []string{
 	"-- just a comment\nSHOW TABLES;",
 	"SELECT * FROM t TO TRAIN svm WITH alpha=+0.5 INTO 'it''s';",
 	"SELECT * FROM t TO TRAIN svm WITH alpha=-.5 INTO 'a\\'b';",
+	"SHOW SERVING;",
 	// Near-misses that must error cleanly.
 	"SHOW SHARDS;",
 	"SHOW SHARDS forest 0;",

@@ -158,8 +158,10 @@ func (p *parser) statement() (*Statement, error) {
 			return p.showShards()
 		case p.keyword("SCRUB"):
 			return &Statement{Kind: KindShowScrub}, nil
+		case p.keyword("SERVING"):
+			return &Statement{Kind: KindShowServing}, nil
 		}
-		return nil, p.errf("expected TABLES, TASKS, MODELS, JOBS, SHARDS or SCRUB after SHOW, found %s", p.peek())
+		return nil, p.errf("expected TABLES, TASKS, MODELS, JOBS, SHARDS, SCRUB or SERVING after SHOW, found %s", p.peek())
 	case p.keyword("WAIT"):
 		return p.jobStatement(KindWaitJob, "WAIT")
 	case p.keyword("CANCEL"):

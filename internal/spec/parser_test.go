@@ -327,6 +327,8 @@ func TestParseAsyncAndJobStatements(t *testing.T) {
 	for src, want := range map[string]Kind{
 		"SHOW MODELS;":   KindShowModels,
 		"SHOW JOBS;":     KindShowJobs,
+		"SHOW SERVING;":  KindShowServing,
+		"show serving":   KindShowServing,
 		"WAIT JOB 3;":    KindWaitJob,
 		"CANCEL JOB 12;": KindCancelJob,
 	} {

@@ -120,6 +120,8 @@ func (s *Session) Run(st *spec.Statement) error {
 		return s.checkTable(st)
 	case spec.KindShowJobs, spec.KindWaitJob, spec.KindCancelJob:
 		return fmt.Errorf("sqlish: %v needs the job scheduler — connect to a bismarckd server", st.Kind)
+	case spec.KindShowServing:
+		return fmt.Errorf("sqlish: %v needs the serving plane — connect to a bismarckd server (or run the bismarck REPL with -serve-cache)", st.Kind)
 	case spec.KindTrain:
 		return s.train(st)
 	case spec.KindPredict:
