@@ -1,0 +1,224 @@
+// Package crashfidelity implements the bismarckvet analyzer for the
+// fault-injection contract: when a storage seam (IOHooks / CatalogHooks)
+// simulates a crash by returning engine.ErrInjectedCrash, the process
+// must return through the stack exactly as a power loss would — no
+// rollback, no cleanup, no tidying. Crash-recovery tests assert on the
+// on-disk state the "crash" left behind; a deferred cleanup that runs on
+// every error quietly repairs that state and the test then proves
+// nothing.
+//
+// The analyzer flags deferred err-conditional cleanups
+//
+//	defer func() { if err != nil { rollback() } }()
+//
+// in functions whose guarded error can carry an injected crash — i.e.
+// functions that call into the storage layers (engine, sqlish) after the
+// defer is registered — unless the guard excludes the sentinel the way
+// the shadow-swap save path does:
+//
+//	if err != nil && !errors.Is(err, engine.ErrInjectedCrash) { ... }
+//
+// Pure error decoration (re-assigning the guarded error) is not cleanup
+// and is not flagged; neither are inline (non-deferred) rollbacks, which
+// by construction run before the injected error exists.
+package crashfidelity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bismarck/internal/analysis/framework"
+)
+
+// Analyzer is the crashfidelity analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "crashfidelity",
+	Doc: "check that deferred cleanups spare injected-crash errors\n\n" +
+		"A fault-injection hook returning engine.ErrInjectedCrash simulates power loss;\n" +
+		"cleanup that runs anyway repairs the state crash-recovery tests must observe.\n" +
+		"Deferred err-conditional cleanups in storage-coupled functions must gate with\n" +
+		"!errors.Is(err, engine.ErrInjectedCrash).",
+	Run: run,
+}
+
+// seamPackage reports whether a package path belongs to the in-process
+// storage layers that originate or propagate injected crashes.
+func seamPackage(path string) bool {
+	return strings.HasSuffix(path, "/engine") || path == "engine" ||
+		strings.HasSuffix(path, "/sqlish") || path == "sqlish"
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Visited through its enclosing function; its own defers
+				// are checked against its own seam calls when Inspect
+				// reaches it, so analyze it independently too.
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	seams := seamCallPositions(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // nested function: its own checkBody pass handles it
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkDeferredCleanup(pass, ds, fl, seams)
+		return true
+	})
+}
+
+// seamCallPositions collects the positions of calls into seam packages
+// directly in body (not inside nested function literals, whose bodies
+// are separate scopes).
+func seamCallPositions(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.CalleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if seamPackage(fn.Pkg().Path()) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// checkDeferredCleanup flags fl (the deferred closure) if it performs an
+// err-conditional cleanup without excluding ErrInjectedCrash, and a seam
+// call after the defer can feed the guarded error.
+func checkDeferredCleanup(pass *framework.Pass, ds *ast.DeferStmt, fl *ast.FuncLit, seams []token.Pos) {
+	info := pass.TypesInfo
+	if mentionsInjectedCrash(fl) {
+		return
+	}
+	seamAfter := false
+	for _, p := range seams {
+		if p > ds.End() {
+			seamAfter = true
+			break
+		}
+	}
+	if !seamAfter {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errObj := guardedError(info, ifs.Cond)
+		if errObj == nil {
+			return true
+		}
+		if !isCleanup(info, ifs.Body, errObj) {
+			return true
+		}
+		pass.Reportf(ifs.Cond.Pos(),
+			"deferred cleanup runs even when the error is an injected crash; gate it with !errors.Is(%s, engine.ErrInjectedCrash) so crash-recovery tests observe the pre-crash state",
+			errObj.Name())
+		return true
+	})
+}
+
+// mentionsInjectedCrash reports whether the closure references the crash
+// sentinel anywhere (any object named ErrInjectedCrash).
+func mentionsInjectedCrash(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "ErrInjectedCrash" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// guardedError extracts the error object of an `err != nil` guard (alone
+// or as a conjunct), nil if the condition is not such a guard.
+func guardedError(info *types.Info, cond ast.Expr) types.Object {
+	e := ast.Unparen(cond)
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		if be.Op == token.LAND {
+			if obj := guardedError(info, be.X); obj != nil {
+				return obj
+			}
+			return guardedError(info, be.Y)
+		}
+		if be.Op == token.NEQ {
+			x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+			switch {
+			case isNilIdent(y):
+				// x is the candidate error
+			case isNilIdent(x):
+				x = y
+			default:
+				return nil
+			}
+			obj := framework.ObjectOf(info, x)
+			if obj != nil && obj.Type() != nil && obj.Type().String() == "error" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isCleanup reports whether the guarded block does anything beyond
+// decorating the error itself. Re-assignments to the guarded error are
+// decoration; everything else — calls, writes to other state — is
+// cleanup the crash must be allowed to skip.
+func isCleanup(info *types.Info, block *ast.BlockStmt, errObj types.Object) bool {
+	for _, s := range block.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if framework.ObjectOf(info, l) != errObj {
+				return true
+			}
+		}
+	}
+	return false
+}

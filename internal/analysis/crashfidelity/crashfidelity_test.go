@@ -1,0 +1,12 @@
+package crashfidelity_test
+
+import (
+	"testing"
+
+	"bismarck/internal/analysis/analysistest"
+	"bismarck/internal/analysis/crashfidelity"
+)
+
+func TestCrashFidelity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), crashfidelity.Analyzer, "crash")
+}

@@ -1,0 +1,58 @@
+// Package crash seeds the crash-fidelity bug class: a deferred rollback
+// that also runs when the error is an injected crash, repairing exactly
+// the state the crash-recovery tests need to observe.
+package crash
+
+import (
+	"errors"
+
+	"bismarck/internal/engine"
+)
+
+func cleanupFiles() {}
+
+// badRollback cleans up on every error — including the simulated power
+// loss, which must leave the torn state in place.
+func badRollback(cat *engine.Catalog, final, shadow, drop []string) (err error) {
+	defer func() {
+		if err != nil { // want `deferred cleanup runs even when the error is an injected crash`
+			cleanupFiles()
+		}
+	}()
+	err = cat.Swap(final, shadow, drop)
+	return err
+}
+
+// okGatedRollback spares the sentinel, the established shadow-swap idiom.
+func okGatedRollback(cat *engine.Catalog, final, shadow, drop []string) (err error) {
+	defer func() {
+		if err != nil && !errors.Is(err, engine.ErrInjectedCrash) {
+			cleanupFiles()
+		}
+	}()
+	err = cat.Swap(final, shadow, drop)
+	return err
+}
+
+// okWrapOnly only decorates the error; decoration is not cleanup.
+func okWrapOnly(cat *engine.Catalog, final, shadow, drop []string) (err error) {
+	defer func() {
+		if err != nil {
+			err = errors.New("swap failed: " + err.Error())
+		}
+	}()
+	err = cat.Swap(final, shadow, drop)
+	return err
+}
+
+// okNoSeam never calls the storage layers after the defer, so its error
+// can never be an injected crash and the cleanup is unconstrained.
+func okNoSeam(setup func() error) (err error) {
+	defer func() {
+		if err != nil {
+			cleanupFiles()
+		}
+	}()
+	err = setup()
+	return err
+}

@@ -1,0 +1,231 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	ImportPath string
+	Dir        string
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -export -deps` on the patterns from
+// moduleDir and returns every listed package. Export data for each
+// dependency comes out of the build cache, so the loader never compiles
+// anything itself and works fully offline.
+func goList(moduleDir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("framework: starting go list: %w", err)
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("framework: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("framework: go list %v: %w", patterns, err)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc importer's lookup function over the listed
+// packages' export files. "unsafe" is resolved by the importer itself and
+// never reaches the lookup.
+func exportLookup(pkgs []*listedPkg) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("framework: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates a fully-populated types.Info (every map analyzers may
+// consult).
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// typeCheck parses goFiles (absolute or dir-relative paths) and
+// type-checks them as one package, resolving imports through imp.
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("framework: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("framework: type errors in %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("framework: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Fset: fset, Syntax: files, Types: tpkg, Info: info, ImportPath: importPath, Dir: dir}, nil
+}
+
+// Load resolves patterns (import paths or ./...-style) relative to
+// moduleDir and returns each matched package type-checked from source,
+// with its dependencies imported from compiled export data. Test files
+// are not included — bismarckvet proves invariants about shipped code;
+// the hammer tests remain the runtime witnesses.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("framework: %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks one directory of Go files that live OUTSIDE the
+// module's package graph (analysistest fixtures under testdata/, which
+// the go tool refuses to list). Imports — standard library or module
+// packages alike — are resolved by asking `go list` from moduleDir for
+// their export data.
+func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("framework: no Go files in %s", dir)
+	}
+
+	// Pre-parse just the import clauses to learn what go list must resolve.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, path := range goFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("framework: parsing imports of %s: %w", path, err)
+		}
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || p == "unsafe" {
+				continue
+			}
+			imports[p] = true
+		}
+	}
+	var patterns []string
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+
+	var listed []*listedPkg
+	if len(patterns) > 0 {
+		listed, err = goList(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("framework: fixture dependency %s: %s", p.ImportPath, p.Error.Err)
+			}
+		}
+	}
+	fset = token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	return typeCheck(fset, imp, importPath, dir, goFiles)
+}

@@ -1,0 +1,235 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool=` unit-checker protocol, the
+// same contract x/tools' unitchecker speaks:
+//
+//   - `tool -V=full` prints a version line cmd/go can hash into its
+//     build cache key;
+//   - `tool -flags` prints a JSON description of the tool's flags (none);
+//   - `tool [flags] <file>.cfg` analyzes ONE package described by the
+//     cfg file cmd/go wrote: source files plus an import map pointing at
+//     compiled export data for every dependency. Diagnostics go to
+//     stderr (or stdout as JSON under -json) and a non-zero exit tells
+//     cmd/go the package failed vetting.
+//
+// bismarckvet has no cross-package facts, so the .vetx facts file the
+// protocol requires is written empty and PackageVetx inputs are ignored.
+
+// vetConfig mirrors the JSON cmd/go hands a vet tool per package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the unitchecker JSON diagnostic shape.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runVetTool handles one cfg-file invocation. Returns the process exit
+// code.
+func runVetTool(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "bismarckvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist whenever the tool succeeds; bismarckvet
+	// carries no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "bismarckvet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only request from a dependency: nothing to compute
+	}
+	// go vet folds test files into the package's vet unit. bismarckvet
+	// proves invariants about shipped code only: the hammer and
+	// fault-injection tests deliberately reproduce the very violations
+	// the analyzers reject (leaked tickets, deadlock shapes), and must
+	// keep compiling. Same policy as standalone mode's loader.
+	var srcFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			srcFiles = append(srcFiles, f)
+		}
+	}
+	if len(srcFiles) == 0 {
+		return 0 // external test package: nothing shipped to analyze
+	}
+	cfg.GoFiles = srcFiles
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+		return 1
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		byAnalyzer := map[string][]jsonDiagnostic{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+				jsonDiagnostic{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return 0 // JSON mode: cmd/go reads the stream, exit stays clean
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// Main is the bismarckvet entry point: it dispatches between the
+// vet-tool protocol (a single .cfg argument from cmd/go) and the
+// standalone mode (`bismarckvet ./...`), which loads packages itself and
+// needs no driver. Returns the process exit code.
+func Main(analyzers []*Analyzer, args []string, stdout, stderr io.Writer) int {
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// cmd/go parses the buildID field out of this line and hashes
+			// it into its action cache key: same tool binary, same cached
+			// vet verdicts. Hash the executable itself so rebuilding the
+			// tool invalidates the cache.
+			id := "unknown"
+			if exe, err := os.Executable(); err == nil {
+				if data, err := os.ReadFile(exe); err == nil {
+					sum := sha256.Sum256(data)
+					id = fmt.Sprintf("%x", sum[:16])
+				}
+			}
+			fmt.Fprintf(stdout, "bismarckvet version devel buildID=%s\n", id)
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case a == "-h" || a == "-help" || a == "--help":
+			usage(analyzers, stdout)
+			return 0
+		case strings.HasPrefix(a, "-"):
+			// Unknown driver flags (e.g. analyzer toggles a future cmd/go
+			// might pass) are accepted and ignored rather than fatal: the
+			// suite always runs whole.
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetTool(rest[0], analyzers, jsonOut, stdout, stderr)
+	}
+
+	// Standalone mode: resolve patterns from the current directory.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+		return 1
+	}
+	pkgs, err := Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "bismarckvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			bad++
+			fmt.Fprintf(stderr, "%s: %s: %s\n", relPosition(cwd, pkg.Fset.Position(d.Pos)), d.Analyzer, d.Message)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "bismarckvet: %d invariant violation(s)\n", bad)
+		return 2
+	}
+	return 0
+}
+
+// relPosition renders a position with its filename relative to root when
+// possible (shorter, stable diagnostics in CI logs).
+func relPosition(root string, pos token.Position) string {
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos.String()
+}
+
+func usage(analyzers []*Analyzer, w io.Writer) {
+	fmt.Fprintf(w, "bismarckvet proves bismarck's concurrency, resource and crash-fidelity\ninvariants at compile time.\n\n")
+	fmt.Fprintf(w, "usage:\n  bismarckvet [packages]            # standalone, e.g. bismarckvet ./...\n")
+	fmt.Fprintf(w, "  go vet -vettool=$(which bismarckvet) ./...\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, summary)
+	}
+}

@@ -1,0 +1,418 @@
+// Package lockorder implements the bismarckvet analyzer for the
+// codebase's lock-acquisition disciplines, the rules whose violations
+// are deadlocks rather than leaks:
+//
+//   - Rule A (one name lock per session): a function never holds two
+//     exclusive name locks at once. The sole sanctioned exception is the
+//     shadow-then-final window of the replace-and-fill protocol, where
+//     one of the keys is derived via shadowName and therefore disjoint
+//     by construction.
+//   - Rule B (__meta collapses): lock keys normalize any __meta suffix
+//     chain to the base name. Locking a literal "...__meta" key through
+//     a raw Guard/NameLocks call bypasses that collapse and silently
+//     stops contending with the model's writer.
+//   - Rule C (model slot ⇒ global slot): a second-level Gate.Admit may
+//     take a slot only on a path that has checked the first-level
+//     ticket is booked; the queued path must use admitQueued. Taking a
+//     model slot while waiting for a global one is the two-gate
+//     deadlock shape TestQueuedGlobalAdmissionHoldsNoModelSlot guards
+//     at runtime.
+//   - Rule D (xxxLocked under the mutex): a method named *Locked is a
+//     contract that the receiver's mutex is held. Calling one from a
+//     function that is not itself *Locked and has not locked a mutex on
+//     the receiver first is the decode-storm class of bug — the PR 8
+//     cache fill published entries concurrently because a *Locked
+//     helper ran outside the critical section.
+//   - Rule E (no client I/O under a name lock): session output can be a
+//     network connection; fmt.Fprint* while a name lock is held lets one
+//     stalled client write stall every writer queued on the table's
+//     exclusive lock. Compute under the lock, release, then print.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bismarck/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "check name-lock and admission ordering disciplines\n\n" +
+		"Reports nested exclusive name locks (outside the shadow-swap exception), raw lock\n" +
+		"calls on __meta keys that bypass lockKey's collapse, second-level admissions not\n" +
+		"guarded by a booked check, *Locked methods called without the mutex, and output\n" +
+		"writes made while a name lock is held.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, name = fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				body, name = fn.Body, ""
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkNestedNameLocks(pass, body)
+			checkAdmissionOrder(pass, body)
+			checkLockedCalls(pass, name, body)
+			return true
+		})
+		checkMetaKeys(pass, f)
+	}
+	return nil
+}
+
+// isNameLockAcquire reports whether call acquires a name lock, and
+// whether it is exclusive. The matched shapes are the Guard contract
+// (Lock/RLock returning func()) and the session wrappers
+// lockName/rlockName.
+func isNameLockAcquire(info *types.Info, call *ast.CallExpr) (acquire, exclusive bool) {
+	fn := framework.CalleeOf(info, call)
+	if fn == nil {
+		return false, false
+	}
+	switch fn.Name() {
+	case "Lock", "lockName":
+		exclusive = true
+	case "RLock", "rlockName":
+	default:
+		return false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false, false
+	}
+	rsig, ok := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	if !ok || rsig.Params().Len() != 0 || rsig.Results().Len() != 0 {
+		return false, false
+	}
+	return true, exclusive
+}
+
+// keyIsShadowDerived reports whether the lock key expression goes through
+// shadowName — the replace-and-fill exception, disjoint from the base key
+// by construction.
+func keyIsShadowDerived(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	derived := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(inner.Fun).(*ast.Ident); ok && id.Name == "shadowName" {
+				derived = true
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// heldLock is one name lock the linear scan believes is held.
+type heldLock struct {
+	pos    token.Pos
+	shadow bool
+	excl   bool
+	obj    types.Object // unlock closure variable, nil for defer-immediate
+	pinned bool         // held to end of function (deferred release)
+}
+
+// checkNestedNameLocks walks the body in source order, tracking which
+// name locks are held. It reports a second exclusive acquisition while
+// another exclusive lock is held — unless one of the two keys is
+// shadow-derived — and any fmt.Fprint* output written while any name
+// lock is held. The scan is linear (branches are not forked): the
+// locking protocol keeps lock windows straight-line, and the one
+// sanctioned nesting is recognized by key, not by path.
+func checkNestedNameLocks(pass *framework.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var held []heldLock
+
+	report := func(call *ast.CallExpr, prior heldLock) {
+		pass.Reportf(call.Pos(),
+			"exclusive name lock taken while another (line %d) is still held; a session holds at most one name lock (shadow-swap keys are the only exception)",
+			pass.Fset.Position(prior.pos).Line)
+	}
+	acquireAt := func(call *ast.CallExpr, obj types.Object, pinned, excl bool) {
+		shadow := keyIsShadowDerived(call)
+		if excl {
+			for _, h := range held {
+				if h.excl && !h.shadow && !shadow {
+					report(call, h)
+					return // one diagnostic per site
+				}
+			}
+		}
+		held = append(held, heldLock{pos: call.Pos(), shadow: shadow, excl: excl, obj: obj, pinned: pinned})
+	}
+	releaseObj := func(obj types.Object) {
+		for i, h := range held {
+			if h.obj == obj && !h.pinned {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its body is scanned as its own function
+		case *ast.DeferStmt:
+			// defer s.lockName(k)(): acquire now, release at return —
+			// pinned for the rest of the scan.
+			if inner, ok := ast.Unparen(s.Call.Fun).(*ast.CallExpr); ok {
+				if ok, excl := isNameLockAcquire(info, inner); ok {
+					acquireAt(inner, nil, true, excl)
+				}
+				return false
+			}
+			// defer unlock(): pin the corresponding lock.
+			if obj := framework.ObjectOf(info, s.Call.Fun); obj != nil {
+				for i := range held {
+					if held[i].obj == obj {
+						held[i].pinned = true
+					}
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+					if ok, excl := isNameLockAcquire(info, call); ok {
+						var obj types.Object
+						if len(s.Lhs) == 1 {
+							if id, isID := ast.Unparen(s.Lhs[0]).(*ast.Ident); isID && id.Name != "_" {
+								obj = framework.ObjectOf(info, s.Lhs[0])
+								if obj == nil {
+									obj = info.Defs[id]
+								}
+							}
+						}
+						acquireAt(call, obj, false, excl)
+						return false
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				// unlock() releases; an immediate s.lockName(k)() pair is
+				// a degenerate no-op window.
+				if obj := framework.ObjectOf(info, call.Fun); obj != nil {
+					releaseObj(obj)
+				}
+				if inner, ok := ast.Unparen(call.Fun).(*ast.CallExpr); ok {
+					if ok, _ := isNameLockAcquire(info, inner); ok {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Rule E: session output while any name lock is held.
+			if len(held) > 0 && isOutputWrite(info, s) {
+				pass.Reportf(s.Pos(),
+					"output written while a name lock (line %d) is held; compute under the lock, release it, then print — a stalled client write must not stall the table's writers",
+					pass.Fset.Position(held[0].pos).Line)
+			}
+		}
+		return true
+	})
+}
+
+// isOutputWrite reports whether call is a fmt.Fprint* write — the
+// session-output shape whose destination may be a network connection.
+func isOutputWrite(info *types.Info, call *ast.CallExpr) bool {
+	fn := framework.CalleeOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(fn.Name(), "Fprint")
+}
+
+// checkMetaKeys reports raw Guard/NameLocks lock calls whose key ends in
+// __meta: lockKey collapses the suffix, so a raw __meta key locks a
+// DIFFERENT lock than every normalized path uses.
+func checkMetaKeys(pass *framework.Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.CalleeOf(info, call)
+		if fn == nil || (fn.Name() != "Lock" && fn.Name() != "RLock") {
+			return true
+		}
+		if ok, _ := isNameLockAcquire(info, call); !ok {
+			return true
+		}
+		if len(call.Args) == 1 && hasMetaSuffix(info, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"raw lock on a __meta key bypasses lockKey's collapse; lock the base model name instead")
+		}
+		return true
+	})
+}
+
+// hasMetaSuffix reports whether the key expression statically ends in
+// "__meta": a string literal/constant with the suffix, or a
+// concatenation whose right side has it.
+func hasMetaSuffix(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		s := tv.Value.String()
+		return strings.HasSuffix(strings.Trim(s, `"`), "__meta")
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return hasMetaSuffix(info, be.Y)
+	}
+	return false
+}
+
+// checkAdmissionOrder enforces rule C inside one function: after a first
+// Gate.Admit, any further Gate.Admit must be under a branch that checked
+// the booked field of an earlier ticket (the queued path books a queue
+// position with admitQueued instead).
+func checkAdmissionOrder(pass *framework.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	admits := 0
+	var walk func(n ast.Node, bookedGuarded bool)
+	walk = func(n ast.Node, bookedGuarded bool) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walk(s.Init, bookedGuarded)
+			}
+			walk(s.Cond, bookedGuarded)
+			pos, neg := bookedCondition(s.Cond)
+			walk(s.Body, bookedGuarded || pos)
+			if s.Else != nil {
+				walk(s.Else, bookedGuarded || neg)
+			}
+			return
+		case *ast.CallExpr:
+			if framework.IsMethodNamed(info, s, "Gate", "Admit") {
+				admits++
+				if admits > 1 && !bookedGuarded {
+					pass.Reportf(s.Pos(),
+						"second-level Admit without checking the first ticket is booked: a queued global admission must take only a queue position (admitQueued), or two requests deadlock holding one slot each")
+				}
+			}
+			if framework.IsMethodNamed(info, s, "Gate", "admitQueued") {
+				admits++ // occupies the second level; further Admits need the guard too
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, bookedGuarded) })
+	}
+	walk(body, false)
+}
+
+// bookedCondition reports whether cond is a booked-field check: pos for
+// `x.booked`-shaped truth, neg for its negation (whose ELSE branch is the
+// guarded one).
+func bookedCondition(cond ast.Expr) (pos, neg bool) {
+	e := ast.Unparen(cond)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		p, _ := bookedCondition(ue.X)
+		return false, p
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		return name == "booked" || name == "Booked", false
+	}
+	return false, false
+}
+
+// checkLockedCalls enforces rule D: a call to x.fooLocked() must come
+// from a *Locked function itself, or after a Lock/RLock call on a mutex
+// reachable from the same receiver root earlier in the body.
+func checkLockedCalls(pass *framework.Pass, funcName string, body *ast.BlockStmt) {
+	if strings.HasSuffix(funcName, "Locked") {
+		return
+	}
+	info := pass.TypesInfo
+	locked := map[types.Object]bool{} // roots whose mutex was locked
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name == "Lock" || name == "RLock" {
+			if isSyncMutexLock(info, call) {
+				if root := rootObject(info, sel.X); root != nil {
+					locked[root] = true
+				}
+			}
+			return true
+		}
+		if strings.HasSuffix(name, "Locked") && framework.CalleeOf(info, call) != nil {
+			root := rootObject(info, sel.X)
+			if root == nil || !locked[root] {
+				pass.Reportf(call.Pos(),
+					"%s is a *Locked method: the receiver's mutex must be held at the call (lock it first, or hoist the call into the critical section)", name)
+			}
+		}
+		return true
+	})
+}
+
+// isSyncMutexLock reports whether call locks a sync.Mutex or
+// sync.RWMutex.
+func isSyncMutexLock(info *types.Info, call *ast.CallExpr) bool {
+	name := framework.CalleeName(info, call)
+	return name == "(*sync.Mutex).Lock" || name == "(*sync.RWMutex).Lock" || name == "(*sync.RWMutex).RLock"
+}
+
+// rootObject resolves the leftmost identifier of a selector chain
+// (c.mu → c; c.inner.mu → c).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return framework.ObjectOf(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// children invokes fn for each immediate child node of n (one-level
+// Inspect).
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

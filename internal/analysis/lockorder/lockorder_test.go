@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"bismarck/internal/analysis/analysistest"
+	"bismarck/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "locks")
+}

@@ -1,0 +1,154 @@
+// Package locks seeds the deadlock-shaped bug classes lockorder must
+// catch: nested exclusive name locks, raw __meta lock keys, the two-gate
+// admission deadlock, and *Locked helpers called outside the critical
+// section (the decode-storm class).
+package locks
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Guard mirrors the sqlish.Guard contract shape.
+type Guard interface {
+	Lock(name string) (unlock func())
+	RLock(name string) (unlock func())
+}
+
+func shadowName(name string) string { return name + "__shadow" }
+
+// badNested holds two exclusive name locks at once.
+func badNested(g Guard) {
+	unlock := g.Lock("alpha")
+	defer unlock()
+	u2 := g.Lock("beta") // want `exclusive name lock taken while another`
+	u2()
+}
+
+// okSequential closes one window before opening the next.
+func okSequential(g Guard) {
+	u := g.Lock("alpha")
+	u()
+	u2 := g.Lock("beta")
+	u2()
+}
+
+// okShadowSwap is the sanctioned replace-and-fill nesting: the shadow key
+// is disjoint from the base key by construction.
+func okShadowSwap(g Guard, name string) {
+	defer g.Lock(shadowName(name))()
+	unlock := g.Lock(name)
+	defer unlock()
+}
+
+// okReadThenWrite holds a shared lock only; rule A constrains exclusive
+// pairs.
+func okReadThenWrite(g Guard) {
+	ru := g.RLock("alpha")
+	defer ru()
+	u := g.Lock("beta")
+	u()
+}
+
+// badMetaKey locks the side table's raw name, missing every writer that
+// locks the collapsed base key.
+func badMetaKey(g Guard) {
+	u := g.Lock("digits__meta") // want `raw lock on a __meta key bypasses lockKey's collapse`
+	u()
+}
+
+// badMetaConcat builds the bypassing key dynamically.
+func badMetaConcat(g Guard, model string) {
+	u := g.RLock(model + "__meta") // want `raw lock on a __meta key bypasses lockKey's collapse`
+	u()
+}
+
+// badPrintUnderLock writes to the session output while the name lock is
+// held: if out is a network connection, one stalled client write stalls
+// every writer queued on the table's exclusive lock.
+func badPrintUnderLock(g Guard, out io.Writer, rows int) {
+	defer g.Lock("papers")()
+	fmt.Fprintf(out, "table has %d rows\n", rows) // want `output written while a name lock`
+}
+
+// okPrintAfterUnlock computes under the lock and prints after release.
+func okPrintAfterUnlock(g Guard, out io.Writer, count func() int) {
+	unlock := g.RLock("papers")
+	rows := count()
+	unlock()
+	fmt.Fprintf(out, "table has %d rows\n", rows)
+}
+
+// Ticket and Gate mirror the serve admission shapes.
+type Ticket struct{ booked bool }
+
+func (t *Ticket) Release() {}
+
+type Gate struct{}
+
+func (g *Gate) Admit() (Ticket, error)       { return Ticket{booked: true}, nil }
+func (g *Gate) admitQueued() (Ticket, error) { return Ticket{}, nil }
+
+// badTwoLevel is the admission deadlock shape: the model slot is taken
+// while the global admission may still be queued, so two requests can
+// hold one slot each of the two gates and wait forever for the other's.
+func badTwoLevel(global, model *Gate) error {
+	gt, err := global.Admit()
+	if err != nil {
+		return err
+	}
+	defer gt.Release()
+	mt, err := model.Admit() // want `second-level Admit without checking the first ticket is booked`
+	if err != nil {
+		return err
+	}
+	defer mt.Release()
+	return nil
+}
+
+// okTwoLevel takes the model slot only when the global slot is already
+// booked; the queued path books a queue position.
+func okTwoLevel(global, model *Gate) error {
+	gt, err := global.Admit()
+	if err != nil {
+		return err
+	}
+	defer gt.Release()
+	var mt Ticket
+	if gt.booked {
+		mt, err = model.Admit()
+	} else {
+		mt, err = model.admitQueued()
+	}
+	if err != nil {
+		return err
+	}
+	defer mt.Release()
+	return nil
+}
+
+// cache mirrors the serving cache's publishLocked contract.
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+func (c *cache) publishLocked(k string) { c.entries[k] = 1 }
+
+// refreshLocked is itself *Locked: its callers own the mutex.
+func (c *cache) refreshLocked(k string) { c.publishLocked(k) }
+
+// badPublish calls the *Locked helper with no mutex held — the
+// decode-storm shape, where concurrent fills each publish their own
+// entry.
+func badPublish(c *cache, k string) {
+	c.publishLocked(k) // want `publishLocked is a \*Locked method`
+}
+
+// okPublish hoists the call into the critical section.
+func okPublish(c *cache, k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishLocked(k)
+}

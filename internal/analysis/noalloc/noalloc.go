@@ -1,0 +1,425 @@
+// Package noalloc implements the bismarckvet analyzer for the
+// //bismarck:noalloc annotation: a function so marked is a steady-state
+// zero-allocation hot path (a scoring kernel, the cache hit path, the
+// binary frame loop), and the analyzer rejects constructs that allocate
+// per call:
+//
+//   - calls into package fmt;
+//   - string concatenation and string<->[]byte conversions (conversions
+//     compiled away inside comparisons are allowed — the memoization
+//     idiom's comparison form);
+//   - append to a function-local slice (per-call growth; append into a
+//     caller-owned or struct-owned buffer is the amortized idiom and is
+//     allowed);
+//   - make/new outside a cap-guarded grow-once block
+//     (`if cap(x) < n { x = make(...) }` amortizes to zero);
+//   - function literals (closure allocation);
+//   - boxing a numeric or boolean scalar into an interface argument.
+//
+// Two escapes keep the annotation honest rather than performative:
+// anything inside a return statement is a cold path by construction
+// (the function is leaving; error construction lives there), and a line
+// carrying //bismarck:allowalloc <reason> is accepted as an audited
+// exception (the binary session's model-name memoization re-converts
+// only when the model changes).
+//
+// The runtime witnesses — TestPredictZeroAlloc, TestBinFrameZeroAlloc,
+// TestShardedEpochAllocs — remain authoritative; noalloc catches the
+// regression at vet time, before a benchmark ever runs.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bismarck/internal/analysis/framework"
+)
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "noalloc",
+	Doc: "check //bismarck:noalloc functions for per-call allocations\n\n" +
+		"Annotated hot paths must not call fmt, concatenate or convert strings outside\n" +
+		"comparisons, append to function-local slices, make/new outside cap-guarded\n" +
+		"grow-once blocks, create closures, or box scalars into interfaces. Return\n" +
+		"statements are cold paths; //bismarck:allowalloc marks audited exceptions.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		allow := framework.LineAnnotations(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !framework.HasAnnotation(fd.Doc, "noalloc") {
+				continue
+			}
+			w := &walker{pass: pass, info: pass.TypesInfo, allow: allow, decl: fd}
+			w.stmt(fd.Body, ctx{})
+		}
+	}
+	return nil
+}
+
+// ctx carries the path context that licenses allocations.
+type ctx struct {
+	inReturn   bool // inside a return statement: cold path
+	capGuarded bool // inside an `if cap(...) ...` grow-once block
+	inCompare  bool // operand of a comparison: conversions compile away
+}
+
+type walker struct {
+	pass  *framework.Pass
+	info  *types.Info
+	allow map[int][]string
+	decl  *ast.FuncDecl
+}
+
+// allowed reports whether the node's line carries an allowalloc
+// suppression.
+func (w *walker) allowed(pos token.Pos) bool {
+	for _, a := range w.allow[w.pass.Fset.Position(pos).Line] {
+		if a == "allowalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...any) {
+	if w.allowed(pos) {
+		return
+	}
+	w.pass.Reportf(pos, "//bismarck:noalloc function %s: "+format,
+		append([]any{w.decl.Name.Name}, args...)...)
+}
+
+func (w *walker) stmt(s ast.Stmt, c ctx) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			w.stmt(inner, c)
+		}
+	case *ast.ReturnStmt:
+		rc := c
+		rc.inReturn = true
+		for _, r := range s.Results {
+			w.expr(r, rc)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, c)
+		w.expr(s.Cond, c)
+		bodyCtx := c
+		if condChecksCap(s.Cond) {
+			bodyCtx.capGuarded = true
+		}
+		w.stmt(s.Body, bodyCtx)
+		w.stmt(s.Else, c)
+	case *ast.ForStmt:
+		w.stmt(s.Init, c)
+		if s.Cond != nil {
+			w.expr(s.Cond, c)
+		}
+		w.stmt(s.Post, c)
+		w.stmt(s.Body, c)
+	case *ast.RangeStmt:
+		w.expr(s.X, c)
+		w.stmt(s.Body, c)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, c)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, c)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, c)
+	case *ast.DeferStmt:
+		w.expr(s.Call, c)
+	case *ast.GoStmt:
+		w.report(s.Pos(), "go statement allocates a goroutine per call")
+		w.expr(s.Call, c)
+	case *ast.SendStmt:
+		w.expr(s.Chan, c)
+		w.expr(s.Value, c)
+	case *ast.IncDecStmt:
+		w.expr(s.X, c)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, c)
+		if s.Tag != nil {
+			// A switch tag compares against each case: conversions here
+			// enjoy the same comparison optimization.
+			tc := c
+			tc.inCompare = true
+			w.expr(s.Tag, tc)
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, e := range cc.List {
+				ec := c
+				ec.inCompare = true
+				w.expr(e, ec)
+			}
+			for _, inner := range cc.Body {
+				w.stmt(inner, c)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, c)
+		w.stmt(s.Assign, c)
+		for _, cl := range s.Body.List {
+			for _, inner := range cl.(*ast.CaseClause).Body {
+				w.stmt(inner, c)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			w.stmt(cc.Comm, c)
+			for _, inner := range cc.Body {
+				w.stmt(inner, c)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, c)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *walker) expr(e ast.Expr, c ctx) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		w.expr(e.X, c)
+	case *ast.FuncLit:
+		w.report(e.Pos(), "function literal allocates a closure per call")
+		// Do not descend: the closure itself is the finding.
+	case *ast.BinaryExpr:
+		inner := c
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			inner.inCompare = true
+		case token.ADD:
+			if isStringType(w.info, e) && !c.inReturn {
+				w.report(e.OpPos, "string concatenation allocates")
+			}
+		}
+		w.expr(e.X, inner)
+		w.expr(e.Y, inner)
+	case *ast.CallExpr:
+		w.call(e, c)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND && !c.inReturn {
+			if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); isLit {
+				w.report(e.Pos(), "composite literal address allocates")
+			}
+		}
+		w.expr(e.X, c)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, c)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, c)
+	case *ast.SelectorExpr:
+		w.expr(e.X, c)
+	case *ast.IndexExpr:
+		w.expr(e.X, c)
+		w.expr(e.Index, c)
+	case *ast.SliceExpr:
+		w.expr(e.X, c)
+		w.expr(e.Low, c)
+		w.expr(e.High, c)
+		w.expr(e.Max, c)
+	case *ast.StarExpr:
+		w.expr(e.X, c)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, c)
+	}
+}
+
+func (w *walker) call(call *ast.CallExpr, c ctx) {
+	// Conversions: string <-> []byte/[]rune allocate a copy, except when
+	// compiled into a comparison.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isAllocConversion(w.info, tv.Type, call.Args[0]) && !c.inReturn && !c.inCompare {
+			w.report(call.Pos(), "string conversion allocates a copy (the comparison form string(b) == s is free; memoize with //bismarck:allowalloc if a copy is required)")
+		}
+		w.expr(call.Args[0], c)
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(w.info, id) {
+		switch id.Name {
+		case "make", "new":
+			if !c.inReturn && !c.capGuarded {
+				w.report(call.Pos(), "%s outside a cap-guarded grow-once block allocates per call", id.Name)
+			}
+		case "append":
+			if !c.inReturn && !c.capGuarded && len(call.Args) > 0 && w.appendsToLocal(call.Args[0]) {
+				w.report(call.Pos(), "append to a function-local slice grows per call; append into a caller-owned or reused buffer instead")
+			}
+		}
+		for _, a := range call.Args {
+			w.expr(a, c)
+		}
+		return
+	}
+
+	if fn := framework.CalleeOf(w.info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && !c.inReturn {
+			w.report(call.Pos(), "call to fmt.%s allocates (format state and boxed operands)", fn.Name())
+		}
+		w.checkBoxing(call, fn, c)
+	}
+	w.expr(call.Fun, c)
+	for _, a := range call.Args {
+		w.expr(a, c)
+	}
+}
+
+// checkBoxing reports numeric/bool scalars passed to interface-typed
+// parameters: the conversion heap-allocates the boxed word.
+func (w *walker) checkBoxing(call *ast.CallExpr, fn *types.Func, c ctx) {
+	if c.inReturn {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return // fmt already reported wholesale
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := w.info.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			w.report(arg.Pos(), "scalar %s boxed into interface argument allocates", at.String())
+		}
+	}
+}
+
+// appendsToLocal reports whether the append destination is a bare local
+// variable of the annotated function (fresh per-call growth). Parameters,
+// struct fields, dereferences and slice expressions are caller- or
+// receiver-owned buffers.
+func (w *walker) appendsToLocal(dst ast.Expr) bool {
+	id, ok := ast.Unparen(dst).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := framework.ObjectOf(w.info, id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if w.decl.Type.Params != nil {
+		for _, f := range w.decl.Type.Params.List {
+			for _, n := range f.Names {
+				if w.info.Defs[n] == obj {
+					return false
+				}
+			}
+		}
+	}
+	if w.decl.Recv != nil {
+		for _, f := range w.decl.Recv.List {
+			for _, n := range f.Names {
+				if w.info.Defs[n] == obj {
+					return false
+				}
+			}
+		}
+	}
+	return v.Pos() >= w.decl.Body.Pos() && v.Pos() <= w.decl.Body.End()
+}
+
+// isBuiltin reports whether the identifier denotes a language builtin.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if _, ok := obj.(*types.Builtin); ok {
+		return true
+	}
+	return obj == nil && info.Defs[id] == nil
+}
+
+// condChecksCap reports whether the condition consults cap() — the
+// grow-once guard shape.
+func condChecksCap(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStringType reports whether the expression has string type.
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isAllocConversion reports whether converting arg to target copies
+// memory: string <-> []byte / []rune in either direction.
+func isAllocConversion(info *types.Info, target types.Type, arg ast.Expr) bool {
+	at := info.Types[arg].Type
+	if at == nil {
+		return false
+	}
+	return (isStringy(target) && isByteOrRuneSlice(at)) ||
+		(isByteOrRuneSlice(target) && isStringy(at))
+}
+
+func isStringy(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	k := b.Kind()
+	return k == types.Uint8 || k == types.Int32
+}

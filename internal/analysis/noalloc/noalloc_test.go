@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"bismarck/internal/analysis/analysistest"
+	"bismarck/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer, "hot")
+}

@@ -1,0 +1,149 @@
+// Package hot seeds the hot-path allocation bug classes noalloc must
+// catch, headlined by the historical one: a per-step gradient buffer
+// allocated inside a training kernel.
+package hot
+
+import "fmt"
+
+func record(v any) {}
+
+// badStepKernel is the historical bug: one fresh slice per gradient
+// step, a few hundred thousand allocations per epoch.
+//
+//bismarck:noalloc
+func badStepKernel(w, x []float64, lr float64) {
+	grad := make([]float64, len(w)) // want `make outside a cap-guarded grow-once block allocates per call`
+	for i := range x {
+		grad[i] = x[i] * lr
+	}
+	for i := range w {
+		w[i] -= grad[i]
+	}
+}
+
+// okStepKernel takes the scratch buffer from the caller.
+//
+//bismarck:noalloc
+func okStepKernel(w, x, grad []float64, lr float64) {
+	for i := range x {
+		grad[i] = x[i] * lr
+	}
+	for i := range w {
+		w[i] -= grad[i]
+	}
+}
+
+type scratch struct{ buf []float64 }
+
+// okGrowOnce is the amortized idiom: make only under the cap guard.
+//
+//bismarck:noalloc
+func (s *scratch) okGrowOnce(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	return s.buf
+}
+
+// badFmt drags the whole fmt machinery into a kernel.
+//
+//bismarck:noalloc
+func badFmt(w, x []float64) float64 {
+	var dot float64
+	for i := range w {
+		dot += w[i] * x[i]
+	}
+	fmt.Println(dot) // want `call to fmt.Println allocates`
+	return dot
+}
+
+// okColdError may build its error: a return statement is a cold path by
+// construction.
+//
+//bismarck:noalloc
+func okColdError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %d", n)
+	}
+	return n * 2, nil
+}
+
+// badConvert copies the byte slice on every call.
+//
+//bismarck:noalloc
+func badConvert(b []byte) int {
+	s := string(b) // want `string conversion allocates a copy`
+	return len(s)
+}
+
+// okMemoized is the binary session's model-name idiom: the comparison
+// form is free, and the rare re-conversion is an audited exception.
+//
+//bismarck:noalloc
+func okMemoized(b []byte, cur string) string {
+	if string(b) != cur {
+		cur = string(b) //bismarck:allowalloc model switch is rare
+	}
+	return cur
+}
+
+// badConcat builds a key per call.
+//
+//bismarck:noalloc
+func badConcat(a, b string) int {
+	key := a + b // want `string concatenation allocates`
+	return len(key)
+}
+
+// badAccumulate grows a fresh local slice per call.
+//
+//bismarck:noalloc
+func badAccumulate(xs []float64) float64 {
+	var squares []float64
+	for _, v := range xs {
+		squares = append(squares, v*v) // want `append to a function-local slice grows per call`
+	}
+	var sum float64
+	for _, v := range squares {
+		sum += v
+	}
+	return sum
+}
+
+// okAppendCallerBuf appends into the caller's buffer — the amortized
+// response-encoding idiom.
+//
+//bismarck:noalloc
+func okAppendCallerBuf(dst []byte, id byte) []byte {
+	dst = append(dst, id)
+	return dst
+}
+
+// badClosure allocates the step function per call.
+//
+//bismarck:noalloc
+func badClosure(w []float64, lr float64) {
+	step := func(i int) { w[i] -= lr } // want `function literal allocates a closure per call`
+	for i := range w {
+		step(i)
+	}
+}
+
+// badBoxing boxes every sample into an interface.
+//
+//bismarck:noalloc
+func badBoxing(vs []float64) {
+	for _, v := range vs {
+		record(v) // want `scalar float64 boxed into interface argument allocates`
+	}
+}
+
+// unannotated functions may allocate freely.
+func okUnannotated(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package ticket seeds the acquire/release bug classes ticketpair must
+// catch — and the legitimate pairings it must not flag. The first case is
+// the PR 8 slot leak verbatim: a gate ticket acquired by a connection
+// worker that returns on an error path without Release.
+package ticket
+
+import (
+	"sync"
+
+	"bismarck/internal/serve"
+	"bismarck/internal/sqlish"
+)
+
+type scratch struct{ n int }
+
+func doWork() error  { return nil }
+func use(s *scratch) {}
+
+// leakOnEarlyReturn is the historical PR 8 shape: the error path between
+// Admit and Release returns with the slot still booked.
+func leakOnEarlyReturn(g *serve.Gate, work func() error) error {
+	tk, err := g.Admit() // want `gate ticket "tk" can leave the function without being released`
+	if err != nil {
+		return err
+	}
+	tk.Wait()
+	if err := work(); err != nil {
+		return err // slot still booked here
+	}
+	tk.Release()
+	return nil
+}
+
+// okDeferRelease pairs the ticket the recommended way.
+func okDeferRelease(g *serve.Gate) error {
+	tk, err := g.Admit()
+	if err != nil {
+		return err
+	}
+	defer tk.Release()
+	tk.Wait()
+	return doWork()
+}
+
+// okWaitOrCancel handles the cancellation result: WaitOrCancel returning
+// false means the booking was already returned.
+func okWaitOrCancel(g *serve.Gate, done chan struct{}) bool {
+	tk, err := g.Admit()
+	if err != nil {
+		return false
+	}
+	if !tk.WaitOrCancel(done) {
+		return false
+	}
+	defer tk.Release()
+	return true
+}
+
+// leakAfterWait forgets Release on the granted path.
+func leakAfterWait(g *serve.Gate, done chan struct{}) {
+	tk, err := g.Admit() // want `gate ticket "tk" can leave the function without being released`
+	if err != nil {
+		return
+	}
+	if !tk.WaitOrCancel(done) {
+		return
+	}
+	_ = doWork()
+}
+
+// okAbandon returns the booking without serving.
+func okAbandon(g *serve.Gate) {
+	tk, err := g.Admit()
+	if err != nil {
+		return
+	}
+	tk.Abandon()
+}
+
+// okHandOff transfers the obligation to the receiver of the channel.
+func okHandOff(g *serve.Gate, out chan serve.Ticket) error {
+	tk, err := g.Admit()
+	if err != nil {
+		return err
+	}
+	out <- tk
+	return nil
+}
+
+// discardedTicket drops the ticket on the floor at the call site.
+func discardedTicket(g *serve.Gate) {
+	g.Admit() // want `result of this call is discarded; the gate ticket it acquires can never be released`
+}
+
+// admissionLeak loses a two-level admission (model and global slot) on
+// the granted path.
+func admissionLeak(p *serve.Plane, done chan struct{}) {
+	ad, err := p.Admit("digits") // want `admission "ad" can leave the function without being released`
+	if err != nil {
+		return
+	}
+	if !ad.Wait(done) {
+		return
+	}
+	_ = doWork()
+}
+
+// okAdmission is the serveFrame worker shape from the binary protocol: the
+// admission is handed to a goroutine that waits cancellably and releases.
+func okAdmission(p *serve.Plane, done chan struct{}, wg *sync.WaitGroup) {
+	ad, err := p.Admit("digits")
+	if err != nil {
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if !ad.Wait(done) {
+			return
+		}
+		defer ad.Release()
+		_ = doWork()
+	}()
+}
+
+// poolLeak takes a scratch object from the pool and returns without
+// putting it back on one path.
+func poolLeak(pool *sync.Pool, hot bool) {
+	sc := pool.Get().(*scratch) // want `pooled object "sc" can leave the function without being released`
+	sc.n++
+	if hot {
+		return // sc never returned to the pool
+	}
+	pool.Put(sc)
+}
+
+// okPool is the Plane.score idiom.
+func okPool(pool *sync.Pool) {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	use(sc)
+}
+
+// lockLeak drops a name lock on an early return.
+func lockLeak(g sqlish.Guard, cond bool) {
+	unlock := g.Lock("model") // want `unlock closure "unlock" can leave the function without being released`
+	if cond {
+		return // lock held forever
+	}
+	unlock()
+}
+
+// okLockDefer releases through the immediate-defer form.
+func okLockDefer(g sqlish.Guard) error {
+	defer g.Lock("model")()
+	return doWork()
+}
+
+// okRLockWindow bounds a shared lock to an explicit window.
+func okRLockWindow(g sqlish.Guard) error {
+	unlock := g.RLock("model")
+	err := doWork()
+	unlock()
+	return err
+}
+
+// discardedUnlock never even binds the release closure.
+func discardedUnlock(g sqlish.Guard) {
+	g.Lock("model") // want `result of this call is discarded; the unlock closure it acquires can never be released`
+}
+
+// uncancellableWait is the deprecated Ticket.Wait on a connection-owned
+// path: a done channel is right there and must be used.
+func uncancellableWait(g *serve.Gate, done chan struct{}) {
+	tk, err := g.Admit()
+	if err != nil {
+		return
+	}
+	defer tk.Release()
+	tk.Wait() // want `Ticket.Wait blocks uncancellably while cancel channel "done" is in scope`
+}
+
+// nilCancelWait passes nil where the connection's done channel belongs.
+func nilCancelWait(p *serve.Plane, done chan struct{}) {
+	ad, err := p.Admit("digits")
+	if err != nil {
+		return
+	}
+	defer ad.Release()
+	ad.Wait(nil) // want `waiting with a nil cancel channel blocks uncancellably while cancel channel "done" is in scope`
+}
+
+// okPlainWait has no cancellation signal in scope, so the blocking wait
+// is the only option and is not flagged.
+func okPlainWait(g *serve.Gate) {
+	tk, err := g.Admit()
+	if err != nil {
+		return
+	}
+	defer tk.Release()
+	tk.Wait()
+}

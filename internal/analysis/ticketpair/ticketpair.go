@@ -1,0 +1,725 @@
+// Package ticketpair implements the bismarckvet analyzer that proves the
+// acquire/release pairing invariants of the serving and storage planes:
+//
+//   - every serve.Gate ticket obtained from Admit (or admitQueued) must
+//     reach Release or Abandon — or a handled WaitOrCancel cancellation —
+//     on every path out of the acquiring function (the PR 8 dead-client
+//     slot-leak class);
+//   - every serve.Plane admission must likewise reach Release or a
+//     handled Wait(cancel)=false;
+//   - every sync.Pool object taken with Get must be Put back;
+//   - every unlock closure returned by a name-lock acquisition
+//     (sqlish.Guard.Lock/RLock, server.NameLocks, Session.lockName/
+//     rlockName) must be invoked or deferred, never dropped.
+//
+// A value that escapes the function — returned, captured by a closure,
+// stored, or passed to another call — discharges the obligation there:
+// the analyzer is per-function and flow-sensitive, not a whole-program
+// escape analysis. Paths are explored structurally (both branches of
+// every if/switch/select, loop bodies once), with the (value, error)
+// acquisition idiom understood: the obligation exists only where the
+// paired error is nil.
+//
+// It also enforces the PR 8 teardown lesson as a style rule: calling the
+// uncancellable Ticket.Wait (or passing a nil cancel) while a done
+// channel is in scope is reported — connection-owned paths must use
+// WaitOrCancel so a dead client's queued work can be abandoned.
+package ticketpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bismarck/internal/analysis/framework"
+)
+
+// Analyzer is the ticketpair analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "ticketpair",
+	Doc: "check that gate tickets, admissions, pooled objects and unlock closures are released on every path\n\n" +
+		"The serving plane's admission tickets, sync.Pool scratch objects and per-name unlock\n" +
+		"closures are manually paired resources; leaking one on an early return is the PR 8\n" +
+		"slot-leak bug class. ticketpair walks every path of the acquiring function and\n" +
+		"reports acquisitions that can reach a return unreleased.",
+	Run: run,
+}
+
+// acquireKind classifies what a call acquires.
+type acquireKind int
+
+const (
+	acqNone acquireKind = iota
+	acqTicket
+	acqAdmission
+	acqPoolObj
+	acqUnlock
+)
+
+func (k acquireKind) noun() string {
+	switch k {
+	case acqTicket:
+		return "gate ticket"
+	case acqAdmission:
+		return "admission"
+	case acqPoolObj:
+		return "pooled object"
+	case acqUnlock:
+		return "unlock closure"
+	}
+	return "value"
+}
+
+// releaseMethods names the methods that discharge each kind when invoked
+// on the tracked value.
+var releaseMethods = map[acquireKind]map[string]bool{
+	acqTicket:    {"Release": true, "Abandon": true},
+	acqAdmission: {"Release": true},
+}
+
+// classifyAcquire reports what call acquires, if anything.
+func classifyAcquire(info *types.Info, call *ast.CallExpr) acquireKind {
+	switch {
+	case framework.IsMethodNamed(info, call, "serve.Gate", "Admit"),
+		framework.IsMethodNamed(info, call, "serve.Gate", "admitQueued"):
+		return acqTicket
+	case framework.IsMethodNamed(info, call, "serve.Plane", "Admit"):
+		return acqAdmission
+	case framework.CalleeName(info, call) == "(*sync.Pool).Get":
+		return acqPoolObj
+	}
+	// Unlock closures: any method named Lock/RLock/lockName/rlockName
+	// whose only result is a niladic func — the Guard contract shape.
+	if fn := framework.CalleeOf(info, call); fn != nil {
+		switch fn.Name() {
+		case "Lock", "RLock", "lockName", "rlockName":
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Results().Len() == 1 {
+				if rsig, ok := sig.Results().At(0).Type().Underlying().(*types.Signature); ok &&
+					rsig.Params().Len() == 0 && rsig.Results().Len() == 0 {
+					return acqUnlock
+				}
+			}
+		}
+	}
+	return acqNone
+}
+
+// tracked is one acquisition being followed through the function.
+type tracked struct {
+	kind acquireKind
+	pos  token.Pos // the acquiring call
+	name string    // variable name, for diagnostics
+	err  types.Object
+}
+
+// pathState is the walker's per-path view: which tracked objects are
+// still owed a release on this path.
+type pathState struct {
+	open map[types.Object]bool
+}
+
+func (st *pathState) clone() *pathState {
+	c := &pathState{open: make(map[types.Object]bool, len(st.open))}
+	for k, v := range st.open {
+		c.open[k] = v
+	}
+	return c
+}
+
+// walker analyzes one function body.
+type walker struct {
+	pass    *framework.Pass
+	info    *types.Info
+	tracked map[types.Object]*tracked
+	leaked  map[types.Object]bool // reported (dedup across paths)
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			w := &walker{
+				pass:    pass,
+				info:    pass.TypesInfo,
+				tracked: map[types.Object]*tracked{},
+				leaked:  map[types.Object]bool{},
+			}
+			st := &pathState{open: map[types.Object]bool{}}
+			terminated := w.walkStmts(body.List, st, nil)
+			if !terminated {
+				w.reportOpen(st, nil, body.End())
+			}
+			// Closure bodies are analyzed by their own Inspect visit.
+			return true
+		})
+		checkUncancellableWaits(pass, f)
+	}
+	return nil
+}
+
+// reportOpen reports every obligation still open in st (excluding objs
+// open at an enclosing loop's entry, which may still be released after
+// the loop).
+func (w *walker) reportOpen(st *pathState, loopEntry map[types.Object]bool, _ token.Pos) {
+	for obj, open := range st.open {
+		if !open || w.leaked[obj] || (loopEntry != nil && loopEntry[obj]) {
+			continue
+		}
+		w.leaked[obj] = true
+		tr := w.tracked[obj]
+		w.pass.Reportf(tr.pos, "%s %q can leave the function without being released (every path must Release/Abandon it, invoke the unlock, Put it back, or hand it off)", tr.kind.noun(), tr.name)
+	}
+}
+
+// walkStmts walks a statement list sequentially, returning whether the
+// list unconditionally terminates the function.
+func (w *walker) walkStmts(stmts []ast.Stmt, st *pathState, loopEntry map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st, loopEntry) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st *pathState, loopEntry map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.escapeScan(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.handleExprStmt(s, st)
+	case *ast.DeferStmt:
+		w.handleDefer(s, st)
+	case *ast.GoStmt:
+		w.escapeScan(s.Call, st)
+	case *ast.SendStmt:
+		w.escapeScan(s.Chan, st)
+		w.escapeScan(s.Value, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.escapeScan(r, st)
+		}
+		w.reportOpen(st, nil, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE {
+			// Leaving the loop iteration: anything acquired inside the
+			// loop body is owed by now.
+			w.reportOpen(st, loopEntry, s.Pos())
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st, loopEntry)
+	case *ast.IfStmt:
+		return w.walkIf(s, st, loopEntry)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, loopEntry)
+		}
+		if s.Cond != nil {
+			w.escapeScan(s.Cond, st)
+		}
+		w.walkLoopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.escapeScan(s.X, st)
+		w.walkLoopBody(s.Body, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(s, st, loopEntry)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st, loopEntry)
+	}
+	return false
+}
+
+// walkLoopBody analyzes a loop body: obligations acquired inside it must
+// be discharged by iteration end (a leak per iteration is still a leak);
+// discharges of outer obligations propagate out (the loop may run, and
+// zero-iteration leaks are the enclosing path's to report).
+func (w *walker) walkLoopBody(body *ast.BlockStmt, st *pathState) {
+	entry := make(map[types.Object]bool, len(st.open))
+	for k, v := range st.open {
+		if v {
+			entry[k] = true
+		}
+	}
+	inner := st.clone()
+	terminated := w.walkStmts(body.List, inner, entry)
+	if !terminated {
+		w.reportOpen(inner, entry, body.End())
+	}
+	// Propagate discharges of outer obligations.
+	for obj := range st.open {
+		if st.open[obj] && !inner.open[obj] {
+			st.open[obj] = false
+		}
+	}
+}
+
+// walkClauses handles switch/type-switch/select: every clause is an
+// independent path; an obligation survives if any non-terminating clause
+// (or the implicit fall-through of a switch without default) leaves it
+// open.
+func (w *walker) walkClauses(s ast.Stmt, st *pathState, loopEntry map[types.Object]bool) bool {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	addCase := func(list []ast.Stmt, isDefault bool) {
+		bodies = append(bodies, list)
+		hasDefault = hasDefault || isDefault
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, loopEntry)
+		}
+		if s.Tag != nil {
+			w.escapeScan(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			addCase(cc.Body, cc.List == nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st, loopEntry)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			addCase(cc.Body, cc.List == nil)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				// Channel operations in the comm statement may hand a
+				// tracked value off.
+				w.walkStmt(cc.Comm, st, loopEntry)
+			}
+			addCase(cc.Body, cc.Comm == nil)
+		}
+		hasDefault = true // select blocks until SOME clause runs
+	}
+	states := make([]*pathState, 0, len(bodies)+1)
+	allTerminate := len(bodies) > 0
+	for _, b := range bodies {
+		cs := st.clone()
+		if !w.walkStmts(b, cs, loopEntry) {
+			states = append(states, cs)
+			allTerminate = false
+		}
+	}
+	if !hasDefault {
+		states = append(states, st.clone()) // no case may match
+		allTerminate = false
+	}
+	w.merge(st, states)
+	return allTerminate
+}
+
+// walkIf handles if/else with the two idioms the codebase pairs
+// resources with: the (value, error) acquisition check and the
+// WaitOrCancel cancellation check.
+func (w *walker) walkIf(s *ast.IfStmt, st *pathState, loopEntry map[types.Object]bool) bool {
+	if s.Init != nil {
+		w.walkStmt(s.Init, st, loopEntry)
+	}
+
+	errObj, errEq := errNilCheck(w.info, s.Cond)
+	waitObj, waitNeg := waitCancelCheck(w.info, s.Cond)
+	if errObj == nil && waitObj == nil {
+		// An unrecognized condition may hand tracked values off (f(tk));
+		// a recognized idiom's receiver use must NOT count as an escape.
+		w.escapeScan(s.Cond, st)
+	}
+
+	thenState := st.clone()
+	elseState := st.clone()
+
+	// err-pair idiom: inside `if err != nil`, acquisitions paired with
+	// err were never granted; inside `if err == nil`, they hold.
+	if errObj != nil {
+		for tobj, tr := range w.tracked {
+			if tr.err == errObj {
+				if errEq { // err == nil: then-branch holds the value
+					elseState.open[tobj] = false
+				} else { // err != nil: then-branch holds nothing
+					thenState.open[tobj] = false
+				}
+			}
+		}
+	}
+	// cancellation idiom: `if !tk.WaitOrCancel(done)` — the false result
+	// means the booking is already returned.
+	if waitObj != nil && st.open[waitObj] {
+		if waitNeg {
+			thenState.open[waitObj] = false
+		} else {
+			elseState.open[waitObj] = false
+		}
+	}
+
+	thenTerm := w.walkStmts(s.Body.List, thenState, loopEntry)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.walkStmt(s.Else, elseState, loopEntry)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		*st = *elseState
+	case elseTerm:
+		*st = *thenState
+	default:
+		w.merge(st, []*pathState{thenState, elseState})
+	}
+	return false
+}
+
+// merge folds surviving branch states into st: open if open anywhere.
+func (w *walker) merge(st *pathState, branches []*pathState) {
+	for obj := range st.open {
+		open := false
+		for _, b := range branches {
+			open = open || b.open[obj]
+		}
+		st.open[obj] = open
+	}
+	// Acquisitions that happened inside a branch:
+	for _, b := range branches {
+		for obj, v := range b.open {
+			if _, seen := st.open[obj]; !seen {
+				st.open[obj] = st.open[obj] || v
+			}
+		}
+	}
+}
+
+// handleAssign tracks acquisitions and scans the RHS for escapes.
+func (w *walker) handleAssign(s *ast.AssignStmt, st *pathState) {
+	// Single call RHS (possibly via type assertion, the pool.Get idiom).
+	if len(s.Rhs) == 1 {
+		call := callUnder(s.Rhs[0])
+		if call != nil {
+			if kind := classifyAcquire(w.info, call); kind != acqNone {
+				obj := lhsObject(w.info, s.Lhs, 0)
+				if obj == nil {
+					w.pass.Reportf(call.Pos(), "%s acquired here is discarded (assigned to _); it can never be released", kind.noun())
+				} else {
+					tr := &tracked{kind: kind, pos: call.Pos(), name: obj.Name()}
+					if len(s.Lhs) == 2 {
+						tr.err = lhsObject(w.info, s.Lhs, 1)
+					}
+					w.tracked[obj] = tr
+					st.open[obj] = true
+				}
+				for _, arg := range call.Args {
+					w.escapeScan(arg, st)
+				}
+				return
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		w.escapeScan(r, st)
+	}
+	for _, l := range s.Lhs {
+		// Writing INTO a tracked value's field is receiver use, not escape;
+		// writing a tracked value somewhere is covered by the RHS scan.
+		_ = l
+	}
+}
+
+// handleExprStmt recognizes release calls and discarded acquisitions.
+func (w *walker) handleExprStmt(s *ast.ExprStmt, st *pathState) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		w.escapeScan(s.X, st)
+		return
+	}
+	if kind := classifyAcquire(w.info, call); kind != acqNone {
+		w.pass.Reportf(call.Pos(), "result of this call is discarded; the %s it acquires can never be released", kind.noun())
+		return
+	}
+	if w.dischargeCall(call, st) {
+		return
+	}
+	w.escapeScan(call, st)
+}
+
+// handleDefer recognizes the deferred release idioms.
+func (w *walker) handleDefer(s *ast.DeferStmt, st *pathState) {
+	call := s.Call
+	// `defer s.lockName(x)()` — acquire and deferred unlock in one
+	// statement: paired by construction.
+	if inner := callUnder(call.Fun); inner != nil && classifyAcquire(w.info, inner) != acqNone {
+		for _, arg := range inner.Args {
+			w.escapeScan(arg, st)
+		}
+		return
+	}
+	if w.dischargeCall(call, st) {
+		return
+	}
+	// `defer func() { ... }()` or any deferred call referencing the
+	// tracked value hands the obligation to the deferred body.
+	w.escapeScan(call, st)
+}
+
+// dischargeCall marks obligations released by call: a release method on
+// a tracked receiver, an invocation of a tracked unlock closure, or a
+// tracked value passed as an argument (Put, hand-off).
+func (w *walker) dischargeCall(call *ast.CallExpr, st *pathState) bool {
+	// unlock()
+	if obj := framework.ObjectOf(w.info, call.Fun); obj != nil {
+		if tr, ok := w.tracked[obj]; ok && tr.kind == acqUnlock {
+			st.open[obj] = false
+			return true
+		}
+	}
+	// tk.Release() / tk.Abandon()
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := framework.ObjectOf(w.info, sel.X); obj != nil {
+			if tr, ok := w.tracked[obj]; ok {
+				if releaseMethods[tr.kind][sel.Sel.Name] {
+					st.open[obj] = false
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// escapeScan discharges tracked objects that escape through e: passed to
+// a call, captured by a function literal, stored, returned, aliased.
+// A method call ON the tracked value (tk.Wait(), sc.Reset()) is receiver
+// use, not a hand-off — only its appearance in any other position
+// transfers the obligation elsewhere.
+func (w *walker) escapeScan(e ast.Expr, st *pathState) {
+	if e == nil {
+		return
+	}
+	recv := map[*ast.Ident]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				recv[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		// Capture by a function literal hands the obligation to the
+		// closure wholesale, receiver positions included (the serveFrame
+		// worker pattern: go func() { ...; defer ad.Release() }()).
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.dischargeAllRefs(fl.Body, st)
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || recv[id] {
+			return true
+		}
+		obj := w.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := w.tracked[obj]; tracked && st.open[obj] {
+			st.open[obj] = false
+		}
+		return true
+	})
+}
+
+// dischargeAllRefs discharges every tracked object referenced anywhere
+// under n, in any position.
+func (w *walker) dischargeAllRefs(n ast.Node, st *pathState) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := w.info.Uses[id]; obj != nil {
+				if _, tracked := w.tracked[obj]; tracked && st.open[obj] {
+					st.open[obj] = false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// callUnder unwraps parens and a type assertion to the call expression
+// beneath (the `pool.Get().(*T)` idiom), or returns the call itself.
+func callUnder(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// lhsObject resolves the i-th assignee to its object (nil for _ or
+// non-identifiers).
+func lhsObject(info *types.Info, lhs []ast.Expr, i int) types.Object {
+	if i >= len(lhs) {
+		return nil
+	}
+	id, ok := ast.Unparen(lhs[i]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// errNilCheck matches `X != nil` / `X == nil` where X is an identifier
+// of type error, returning its object and whether the comparison is ==.
+func errNilCheck(info *types.Info, cond ast.Expr) (types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNil(info, x) {
+		x, y = y, x
+	}
+	if !isNil(info, y) {
+		return nil, false
+	}
+	obj := framework.ObjectOf(info, x)
+	if obj == nil || obj.Type() == nil || obj.Type().String() != "error" {
+		return nil, false
+	}
+	return obj, be.Op == token.EQL
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj || id.Name == "nil"
+}
+
+// waitCancelCheck matches `tk.WaitOrCancel(c)` / `ad.Wait(c)` (optionally
+// negated) used as a condition, returning the receiver object and whether
+// the call is negated. The false result of these methods means every
+// booking was returned — the cancellation-handled path.
+func waitCancelCheck(info *types.Info, cond ast.Expr) (types.Object, bool) {
+	negated := false
+	e := ast.Unparen(cond)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		negated = true
+		e = ast.Unparen(ue.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	isWait := framework.IsMethodNamed(info, call, "serve.Ticket", "WaitOrCancel") ||
+		framework.IsMethodNamed(info, call, "serve.Admission", "Wait")
+	if !isWait {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	return framework.ObjectOf(info, sel.X), negated
+}
+
+// checkUncancellableWaits reports Ticket.Wait() calls — and nil-cancel
+// Wait/WaitOrCancel calls — made while a done channel is visibly in
+// scope: such paths are connection-owned and must wait cancellably, or a
+// dead client keeps its queue bookings (the PR 8 teardown lesson).
+// Ticket.Wait is deprecated for these paths.
+func checkUncancellableWaits(pass *framework.Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		uncancellable := false
+		var what string
+		switch {
+		case framework.IsMethodNamed(info, call, "serve.Ticket", "Wait") && len(call.Args) == 0:
+			uncancellable = true
+			what = "Ticket.Wait blocks uncancellably"
+		case (framework.IsMethodNamed(info, call, "serve.Ticket", "WaitOrCancel") ||
+			framework.IsMethodNamed(info, call, "serve.Admission", "Wait")) &&
+			len(call.Args) == 1 && isNilExpr(info, call.Args[0]):
+			uncancellable = true
+			what = "waiting with a nil cancel channel blocks uncancellably"
+		}
+		if !uncancellable {
+			return true
+		}
+		if done := visibleDoneChannel(pass, call.Pos()); done != "" {
+			pass.Reportf(call.Pos(), "%s while cancel channel %q is in scope; use WaitOrCancel(%s) so teardown can reclaim the booking", what, done, done)
+		}
+		return true
+	})
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	return isNil(info, ast.Unparen(e))
+}
+
+// visibleDoneChannel reports the name of a chan struct{} (or
+// <-chan struct{}) variable declared before pos and visible at it, "" if
+// none. Package-level channels are excluded: the rule targets
+// connection-owned lifetimes, which are always locals or parameters.
+func visibleDoneChannel(pass *framework.Pass, pos token.Pos) string {
+	scope := pass.Pkg.Scope().Innermost(pos)
+	for ; scope != nil && scope != pass.Pkg.Scope(); scope = scope.Parent() {
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			v, ok := obj.(*types.Var)
+			if !ok || v.Pos() >= pos {
+				continue
+			}
+			if isStructChan(v.Type()) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func isStructChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,12 @@
+package ticketpair_test
+
+import (
+	"testing"
+
+	"bismarck/internal/analysis/analysistest"
+	"bismarck/internal/analysis/ticketpair"
+)
+
+func TestTicketPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ticketpair.Analyzer, "ticket")
+}

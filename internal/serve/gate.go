@@ -100,6 +100,12 @@ func (g *Gate) admitQueued() (Ticket, error) {
 
 // Wait blocks until the admitted request holds a scoring slot and starts
 // its service-time clock.
+//
+// Deprecated: Wait cannot be interrupted, so a caller that also owns a
+// teardown channel can strand a queued booking past shutdown. Use
+// WaitOrCancel with that channel; keep plain Wait only where no cancel
+// signal exists at all. bismarckvet's ticketpair analyzer flags Wait
+// calls made while a done channel is in scope.
 func (t *Ticket) Wait() { t.WaitOrCancel(nil) }
 
 // WaitOrCancel blocks like Wait but gives up when cancel closes first,

@@ -227,16 +227,23 @@ func (s *Session) showShards(st *spec.Statement) error {
 	if st.ShardCount > spec.MaxShards {
 		return fmt.Errorf("sqlish: SHOW SHARDS count %d exceeds the limit of %d", st.ShardCount, spec.MaxShards)
 	}
-	defer s.rlockName(st.From)()
+	// The shared lock covers only the resolve and the row-count read; the
+	// report prints after release. s.Out can be a network connection, and
+	// a stalled client write must not stall writers queued on the table's
+	// exclusive lock (lockorder rule E; the window used to span the
+	// printing below).
+	unlock := s.rlockName(st.From)
 	tbl, err := s.Cat.Get(st.From)
 	if err != nil {
+		unlock()
 		return err
 	}
+	n := tbl.NumRows()
+	unlock()
 	k := int(st.ShardCount)
 	if k <= 0 {
 		k = runtime.NumCPU()
 	}
-	n := tbl.NumRows()
 	fmt.Fprintf(s.Out, "table %q: %d rows over %d shards\n", st.From, n, k)
 	for _, strat := range []engine.ShardStrategy{engine.ShardRoundRobin, engine.ShardHash} {
 		counts, err := engine.ShardCounts(n, k, strat)
@@ -278,12 +285,19 @@ func renderCounts(counts []int) string {
 // locked quarantine set, so the table's shared lock is enough — concurrent
 // readers proceed, and writers (which take the exclusive lock) queue.
 func (s *Session) checkTable(st *spec.Statement) error {
-	defer s.rlockName(st.From)()
+	// The shared lock spans resolve + scrub (the scrub re-reads the heap,
+	// so the generation must not be swapped out under it), but the report
+	// prints only after release: a slow client draining the per-page
+	// lines must not hold the table's writers off (lockorder rule E; the
+	// window used to span the printing below).
+	unlock := s.rlockName(st.From)
 	tbl, err := s.Cat.Get(st.From)
 	if err != nil {
+		unlock()
 		return err
 	}
 	rep := tbl.Scrub()
+	unlock()
 	if rep.Clean() {
 		fmt.Fprintf(s.Out, "table %q: %d pages, all checksums ok\n", st.From, rep.Pages)
 		return nil
