@@ -54,19 +54,33 @@ func main() {
 		serveMIn  = flag.Int("serve-model-inflight", 0, "one model's concurrent scoring slots (0 = the global slots)")
 		serveMQ   = flag.Int("serve-model-queue", 0, "one model's waiters before shedding (0 = half the global queue)")
 		serveWarm = flag.Bool("serve-warm", true, "pre-decode every persisted model into the serving cache at start")
+		executor  = flag.Bool("executor", false, "run as a shard executor: in-memory catalog, no persistence — host training shards shipped by WITH executors=... coordinators")
+		execIn    = flag.Int("exec-inflight", 0, "concurrent executor shard-op slots (0 = GOMAXPROCS)")
+		execQ     = flag.Int("exec-queue", 0, "executor shard-op waiters before shedding with ERR busy (0 = 4x slots)")
 	)
 	flag.Parse()
 	if err := run(*dataDir, *listen, *workers, *epochs, *alpha,
-		*serveIn, *serveQ, *serveMIn, *serveMQ, *serveWarm); err != nil {
+		*serveIn, *serveQ, *serveMIn, *serveMQ, *serveWarm,
+		*executor, *execIn, *execQ); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarckd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, serveQ, serveMIn, serveMQ int, serveWarm bool) error {
-	cat, err := engine.OpenFileCatalog(dataDir, 0)
-	if err != nil {
-		return err
+func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, serveQ, serveMIn, serveMQ int, serveWarm bool, executor bool, execIn, execQ int) error {
+	// Executor mode is stateless by design: shard heaps live only on
+	// their coordinator connections, so there is nothing to persist — an
+	// in-memory catalog keeps a dead executor from leaving artifacts a
+	// restart would have to recover.
+	var cat *engine.Catalog
+	var err error
+	if executor {
+		cat = engine.NewCatalog()
+	} else {
+		cat, err = engine.OpenFileCatalog(dataDir, 0)
+		if err != nil {
+			return err
+		}
 	}
 	// Opening doubled as crash recovery: say what it found (swaps rolled
 	// forward, orphan shadows swept, tables it refused to resurrect).
@@ -90,13 +104,15 @@ func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, se
 	}
 	mgr := server.NewManager(cat, server.Options{Workers: workers, Epochs: epochs, Alpha: alpha,
 		ServeInflight: serveIn, ServeQueue: serveQ,
-		ServeModelInflight: serveMIn, ServeModelQueue: serveMQ})
+		ServeModelInflight: serveMIn, ServeModelQueue: serveMQ,
+		ExecInflight: execIn, ExecQueue: execQ})
 	srv := server.NewTCPServer(mgr)
 
 	// Warm-start: decode every persisted model into the serving cache before
 	// accepting connections, so the first PREDICT after a restart is a cache
-	// hit instead of a decode behind the fill mutex.
-	if serveWarm {
+	// hit instead of a decode behind the fill mutex. Executor mode starts
+	// with an empty in-memory catalog — nothing to warm.
+	if serveWarm && !executor {
 		if warmed := mgr.Plane().Warm(); len(warmed) > 0 {
 			fmt.Printf("bismarckd: warmed %d model(s) into the serving cache: %v\n", len(warmed), warmed)
 		}
@@ -106,7 +122,11 @@ func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, se
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bismarckd: serving catalog %q on %s\n", dataDir, lis.Addr())
+	if executor {
+		fmt.Printf("bismarckd: shard executor on %s (in-memory, nothing persisted)\n", lis.Addr())
+	} else {
+		fmt.Printf("bismarckd: serving catalog %q on %s\n", dataDir, lis.Addr())
+	}
 
 	// Shutdown order matters: stop the wire first (no new statements), let
 	// accepted jobs finish (their saves still take the model locks), then
@@ -134,7 +154,10 @@ func run(dataDir, listen string, workers, epochs int, alpha float64, serveIn, se
 	if err := cat.DiscardShadows(); err != nil {
 		fmt.Fprintf(os.Stderr, "bismarckd: discarding in-flight shadows: %v\n", err)
 	}
-	saveErr := cat.Save()
+	var saveErr error
+	if cat.FileBacked() {
+		saveErr = cat.Save()
+	}
 	closeErr := cat.Close()
 	if serveErr != nil {
 		return serveErr

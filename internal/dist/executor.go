@@ -1,0 +1,474 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/ordering"
+	"bismarck/internal/vector"
+)
+
+// BuildTask reconstructs a training task from its registry name and
+// fully-resolved parameters — no data view, exactly the model-snapshot
+// rebuild path. The server injects an implementation backed by the spec
+// registry; dist stays below the statement layer.
+type BuildTask func(name string, params map[string]string) (core.Task, error)
+
+// Gate is the executor's admission hook, wrapped around the server's
+// serving gate. Admit may block while queued for a slot; it returns a
+// release func on success, ok=false when the server is shutting down
+// (tear the connection down, answer nothing), and an error — typically a
+// busy rejection carrying retry_after_ms — when the request is shed.
+type Gate interface {
+	Admit() (release func(), ok bool, err error)
+}
+
+// nopGate admits everything (standalone executors without a gate).
+type nopGate struct{}
+
+func (nopGate) Admit() (func(), bool, error) { return func() {}, true, nil }
+
+// ExecutorHooks expose test seams inside op handling. Nil hooks cost one
+// pointer compare.
+type ExecutorHooks struct {
+	// MidStep runs after a STEP request is admitted and decoded but
+	// before the epoch scan — the "mid STEP" point of the crash matrix.
+	MidStep func(shard uint32, epoch int)
+}
+
+// MaxExecutorBytes caps the total encoded row bytes one connection may
+// ship: the executor is a network service and a hostile coordinator must
+// not OOM it with an unbounded table. Var, not const, so tests (and a
+// future flag) can tighten it.
+var MaxExecutorBytes = int64(256 << 20)
+
+// execShard is one loaded shard's training state: the shard heap, its
+// epoch pipeline, the ordering replay cursor, and the task replica.
+type execShard struct {
+	tbl     *engine.Table
+	schema  engine.Schema
+	task    core.Task
+	order   core.OrderStrategy
+	rng     *rand.Rand
+	src     engine.Relation
+	prepare func(epoch int, rng *rand.Rand) error
+	rows    int
+	sealed  bool
+
+	// lastEpoch is the newest epoch whose ordering preparation has run;
+	// STEP(e) replays lastEpoch+1..e in sequence so the rng stream — and
+	// with it the scan order — is identical whether the shard lived here
+	// from epoch 0 or was requeued from a lost executor mid-run.
+	lastEpoch int
+
+	model core.DenseModel
+	// step/loss state pre-bound exactly like the in-process runner.
+	alpha   float64
+	cur     vector.Dense
+	partial float64
+	stepFn  func(engine.Tuple) error
+	lossFn  func(engine.Tuple) error
+}
+
+func (sh *execShard) step(tp engine.Tuple) error {
+	sh.task.Step(&sh.model, tp, sh.alpha)
+	return nil
+}
+
+func (sh *execShard) loss(tp engine.Tuple) error {
+	sh.partial += sh.task.Loss(sh.cur, tp)
+	return nil
+}
+
+// Executor is one connection's shard-hosting state machine. It is
+// single-goroutine by construction — the server's binary loop is
+// synchronous — so no locking happens here; the admission gate is the
+// only shared resource.
+type Executor struct {
+	build BuildTask
+	gate  Gate
+	Hooks ExecutorHooks
+
+	shards map[uint32]*execShard
+	bytes  int64 // encoded row bytes accepted so far (MaxExecutorBytes cap)
+	out    []byte
+	vals   []float64
+	w      vector.Dense
+}
+
+// NewExecutor builds a connection's executor. gate may be nil (admit
+// everything); build must be able to resolve every task name the
+// coordinator will ship.
+func NewExecutor(build BuildTask, gate Gate) *Executor {
+	if gate == nil {
+		gate = nopGate{}
+	}
+	return &Executor{build: build, gate: gate, shards: make(map[uint32]*execShard)}
+}
+
+// Close releases every shard heap. The server calls it when the
+// connection dies — shard state never outlives its TCP session.
+func (ex *Executor) Close() {
+	for k, sh := range ex.shards {
+		sh.tbl.Close()
+		delete(ex.shards, k)
+	}
+}
+
+// Shards reports the currently loaded shard count (tests, SHOW SERVING).
+func (ex *Executor) Shards() int { return len(ex.shards) }
+
+// Handle serves one executor request payload (opcode already verified to
+// be an executor op by the caller), leaving the response frame in the
+// returned buffer, which is reused across calls. ok=false means the
+// server is shutting down and the connection should be torn down without
+// a response.
+func (ex *Executor) Handle(payload []byte) (resp []byte, ok bool) {
+	if len(payload) < reqHeader {
+		// Id 0 is the unattributable-error id, as in the predict frames.
+		return AppendErr(ex.out[:0], 0, "dist: executor frame truncated before header"), true
+	}
+	op := payload[0]
+	id := binary.LittleEndian.Uint64(payload[1:9])
+	release, ok, err := ex.gate.Admit()
+	if !ok {
+		return nil, false
+	}
+	if err != nil {
+		return AppendErr(ex.out[:0], id, err.Error()), true
+	}
+	defer release()
+	vals, herr := ex.dispatch(op, payload[reqHeader:])
+	if herr != nil {
+		return AppendErr(ex.out[:0], id, herr.Error()), true
+	}
+	ex.out = AppendOK(ex.out[:0], id, vals)
+	return ex.out, true
+}
+
+func (ex *Executor) dispatch(op byte, body []byte) ([]float64, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("dist: executor frame truncated before shard id")
+	}
+	shard := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	switch op {
+	case OpShardLoad:
+		return nil, ex.load(shard, body)
+	case OpShardRows:
+		return nil, ex.rows(shard, body)
+	case OpShardSeal:
+		return ex.seal(shard)
+	case OpShardStep:
+		return ex.step(shard, body)
+	case OpShardLoss:
+		return ex.lossAt(shard, body)
+	case OpShardFree:
+		sh, ok := ex.shards[shard]
+		if !ok {
+			return nil, fmt.Errorf("dist: executor has no shard %d", shard)
+		}
+		sh.tbl.Close()
+		delete(ex.shards, shard)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("dist: unknown executor opcode %d", op)
+}
+
+// load handles SHARD_LOAD: declare the shard, rebuild its task from the
+// shipped name+params, and stand up an empty shard heap to receive rows.
+func (ex *Executor) load(shard uint32, body []byte) error {
+	if _, dup := ex.shards[shard]; dup {
+		return fmt.Errorf("dist: shard %d already loaded on this connection", shard)
+	}
+	if len(ex.shards) >= 1024 {
+		return fmt.Errorf("dist: connection shard limit reached")
+	}
+	if len(body) < 1+8 {
+		return fmt.Errorf("dist: SHARD_LOAD frame truncated")
+	}
+	orderByte := body[0]
+	seed := int64(binary.LittleEndian.Uint64(body[1:9]))
+	body = body[9:]
+	taskName, body, err := u16str(body, "task name", maxTaskNameLen)
+	if err != nil {
+		return err
+	}
+	if len(body) < 2 {
+		return fmt.Errorf("dist: SHARD_LOAD frame truncated before param count")
+	}
+	npairs := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if npairs > maxParamPairs {
+		return fmt.Errorf("dist: %d task params exceed the limit of %d", npairs, maxParamPairs)
+	}
+	params := make(map[string]string, npairs)
+	for i := 0; i < npairs; i++ {
+		var k, v []byte
+		if k, body, err = u16str(body, "param key", maxParamLen); err != nil {
+			return err
+		}
+		if v, body, err = u16str(body, "param value", maxParamLen); err != nil {
+			return err
+		}
+		params[string(k)] = string(v)
+	}
+	if len(body) < 2 {
+		return fmt.Errorf("dist: SHARD_LOAD frame truncated before schema")
+	}
+	ncols := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if ncols == 0 || ncols > maxSchemaCols {
+		return fmt.Errorf("dist: schema of %d columns out of range", ncols)
+	}
+	schema := make(engine.Schema, ncols)
+	for i := 0; i < ncols; i++ {
+		if len(body) < 1 {
+			return fmt.Errorf("dist: SHARD_LOAD frame truncated inside schema")
+		}
+		typ := engine.Type(body[0])
+		body = body[1:]
+		if typ < engine.TInt64 || typ > engine.TInt32Vec {
+			return fmt.Errorf("dist: schema column %d has unknown type tag %d", i, typ)
+		}
+		var name []byte
+		if name, body, err = u16str(body, "column name", maxColNameLen); err != nil {
+			return err
+		}
+		if len(name) == 0 {
+			return fmt.Errorf("dist: schema column %d has an empty name", i)
+		}
+		schema[i] = engine.Column{Name: string(name), Type: typ}
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("dist: SHARD_LOAD frame has %d trailing bytes", len(body))
+	}
+	task, err := ex.build(string(taskName), params)
+	if err != nil {
+		return fmt.Errorf("dist: rebuilding task %q: %w", taskName, err)
+	}
+	if task.Dim() > MaxWireDim {
+		return fmt.Errorf("dist: task dimension %d exceeds the wire limit %d", task.Dim(), MaxWireDim)
+	}
+	var order core.OrderStrategy
+	switch orderByte {
+	case OrderAsStored:
+		order = core.NoOrder{}
+	case OrderShuffleOnce:
+		order = ordering.ShuffleOnce{}
+	case OrderShuffleAlways:
+		order = ordering.ShuffleAlways{}
+	case OrderClustered:
+		order = ordering.Clustered{}
+	default:
+		return fmt.Errorf("dist: unknown order byte %d", orderByte)
+	}
+	sh := &execShard{
+		tbl:       engine.NewMemTable(fmt.Sprintf("__exec_shard%d", shard), schema),
+		schema:    schema,
+		task:      task,
+		order:     order,
+		rng:       rand.New(rand.NewSource(seed)),
+		lastEpoch: -1,
+		model:     core.DenseModel{W: vector.NewDense(task.Dim())},
+	}
+	sh.stepFn = sh.step
+	sh.lossFn = sh.loss
+	ex.shards[shard] = sh
+	return nil
+}
+
+// rows handles SHARD_ROWS: decode each shipped record against the
+// shard's schema and insert it into the shard heap.
+func (ex *Executor) rows(shard uint32, body []byte) error {
+	sh, ok := ex.shards[shard]
+	if !ok {
+		return fmt.Errorf("dist: executor has no shard %d", shard)
+	}
+	if sh.sealed {
+		return fmt.Errorf("dist: shard %d is sealed — no more rows", shard)
+	}
+	if len(body) < 4 {
+		return fmt.Errorf("dist: SHARD_ROWS frame truncated before record count")
+	}
+	nrecs := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if nrecs == 0 {
+		return fmt.Errorf("dist: SHARD_ROWS frame with zero records")
+	}
+	for i := 0; i < nrecs; i++ {
+		if len(body) < 4 {
+			return fmt.Errorf("dist: SHARD_ROWS frame truncated before record %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if n == 0 || n > len(body) {
+			return fmt.Errorf("dist: SHARD_ROWS record %d length %d out of range", i, n)
+		}
+		if ex.bytes += int64(n); ex.bytes > MaxExecutorBytes {
+			return fmt.Errorf("dist: connection exceeded the %d-byte shard budget", MaxExecutorBytes)
+		}
+		tp, err := engine.DecodeTuple(body[:n])
+		if err != nil {
+			return fmt.Errorf("dist: record %d: %w", i, err)
+		}
+		if !tp.Matches(sh.schema) {
+			return fmt.Errorf("dist: record %d does not match the declared schema", i)
+		}
+		if err := sh.tbl.Insert(tp); err != nil {
+			return err
+		}
+		sh.rows++
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("dist: SHARD_ROWS frame has %d trailing bytes", len(body))
+	}
+	return nil
+}
+
+// seal handles SHARD_SEAL: flush the shard heap and stand up the epoch
+// pipeline. Replies the accepted row count so the coordinator can verify
+// nothing was lost in transit.
+func (ex *Executor) seal(shard uint32) ([]float64, error) {
+	sh, ok := ex.shards[shard]
+	if !ok {
+		return nil, fmt.Errorf("dist: executor has no shard %d", shard)
+	}
+	if sh.sealed {
+		return nil, fmt.Errorf("dist: shard %d already sealed", shard)
+	}
+	if err := sh.tbl.Flush(); err != nil {
+		return nil, err
+	}
+	src, prepare, err := core.EpochSource(sh.tbl, sh.order, engine.Profile{})
+	if err != nil {
+		return nil, err
+	}
+	sh.src, sh.prepare, sh.sealed = src, prepare, true
+	ex.vals = append(ex.vals[:0], float64(sh.rows))
+	return ex.vals, nil
+}
+
+// catchUp replays the ordering preparation for every epoch in
+// (lastEpoch, e] — the requeue-determinism mechanism (see the package
+// comment).
+func (sh *execShard) catchUp(e int) error {
+	for epoch := sh.lastEpoch + 1; epoch <= e; epoch++ {
+		if err := sh.prepare(epoch, sh.rng); err != nil {
+			return err
+		}
+	}
+	sh.lastEpoch = e
+	return nil
+}
+
+// step handles SHARD_STEP: catch up the ordering stream, run one epoch
+// of gradient steps from the shipped model, and reply [rows, w...].
+func (ex *Executor) step(shard uint32, body []byte) ([]float64, error) {
+	sh, ok := ex.shards[shard]
+	if !ok {
+		return nil, fmt.Errorf("dist: executor has no shard %d", shard)
+	}
+	if !sh.sealed {
+		return nil, fmt.Errorf("dist: shard %d not sealed — STEP before SEAL", shard)
+	}
+	if len(body) < 4+8+2 {
+		return nil, fmt.Errorf("dist: SHARD_STEP frame truncated")
+	}
+	epoch := int(binary.LittleEndian.Uint32(body))
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(body[4:12]))
+	w, err := ex.decodeModel(body[12:], sh)
+	if err != nil {
+		return nil, err
+	}
+	if epoch > maxEpoch {
+		return nil, fmt.Errorf("dist: epoch %d out of range", epoch)
+	}
+	if epoch <= sh.lastEpoch {
+		return nil, fmt.Errorf("dist: shard %d already past epoch %d (at %d) — out-of-order STEP", shard, epoch, sh.lastEpoch)
+	}
+	if ex.Hooks.MidStep != nil {
+		ex.Hooks.MidStep(shard, epoch)
+	}
+	if err := sh.catchUp(epoch); err != nil {
+		return nil, err
+	}
+	copy(sh.model.W, w)
+	sh.alpha = alpha
+	if err := sh.src.Scan(sh.stepFn); err != nil {
+		return nil, err
+	}
+	ex.vals = append(ex.vals[:0], float64(sh.rows))
+	ex.vals = append(ex.vals, sh.model.W...)
+	return ex.vals, nil
+}
+
+// lossAt handles SHARD_LOSS: the shard's summed example loss at the
+// shipped model. The frame carries the newest completed epoch so a shard
+// requeued here mid-loss-pass first replays the ordering stream up to it:
+// the scan — and the float summation order — is then identical to a shard
+// that ran every STEP in place. On a shard already at (or past) that
+// epoch the catch-up is a no-op, matching the in-process runner's
+// "loss passes do not advance the cursor" behaviour.
+func (ex *Executor) lossAt(shard uint32, body []byte) ([]float64, error) {
+	sh, ok := ex.shards[shard]
+	if !ok {
+		return nil, fmt.Errorf("dist: executor has no shard %d", shard)
+	}
+	if !sh.sealed {
+		return nil, fmt.Errorf("dist: shard %d not sealed — LOSS before SEAL", shard)
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("dist: SHARD_LOSS frame truncated before epoch")
+	}
+	epoch := int(int32(binary.LittleEndian.Uint32(body)))
+	body = body[4:]
+	if epoch < -1 || epoch > maxEpoch {
+		return nil, fmt.Errorf("dist: epoch %d out of range", epoch)
+	}
+	w, err := ex.decodeModel(body, sh)
+	if err != nil {
+		return nil, err
+	}
+	if epoch > sh.lastEpoch {
+		if err := sh.catchUp(epoch); err != nil {
+			return nil, err
+		}
+	}
+	sh.cur, sh.partial = w, 0
+	if err := sh.src.Scan(sh.lossFn); err != nil {
+		return nil, err
+	}
+	ex.vals = append(ex.vals[:0], sh.partial)
+	return ex.vals, nil
+}
+
+// decodeModel parses the u16 dim | f64×dim tail shared by STEP and LOSS
+// into the executor's reusable model buffer, validating against the
+// shard's task dimension.
+func (ex *Executor) decodeModel(body []byte, sh *execShard) (vector.Dense, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("dist: frame truncated before model dimension")
+	}
+	dim := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if dim != sh.task.Dim() {
+		return nil, fmt.Errorf("dist: model dimension %d, shard task wants %d", dim, sh.task.Dim())
+	}
+	if len(body) != 8*dim {
+		return nil, fmt.Errorf("dist: frame carries %d model bytes, dimension %d needs %d", len(body), dim, 8*dim)
+	}
+	if cap(ex.w) < dim {
+		ex.w = vector.NewDense(dim)
+	}
+	w := ex.w[:dim]
+	for i := range w {
+		w[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return w, nil
+}

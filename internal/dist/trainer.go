@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"bismarck/internal/core"
+	"bismarck/internal/engine"
+	"bismarck/internal/parallel"
+	"bismarck/internal/vector"
+)
+
+// targetRowsPerShard is the shard granularity AdaptiveShards aims for: K
+// grows past the executor count only while shards would still carry more
+// rows than this, so small tables do not fragment into chatty slivers.
+const targetRowsPerShard = 16384
+
+// maxShardsPerExecutor caps the adaptive K at a small multiple of the
+// executor count — enough requeue granularity that losing one node
+// spreads its load across the survivors, not so much that frame overhead
+// dominates the epoch.
+const maxShardsPerExecutor = 4
+
+// AdaptiveShards picks the partition count for a distributed run with no
+// explicit shards knob: at least one shard per executor (every node
+// works), growing in executor multiples while shards stay above
+// targetRowsPerShard rows, capped at maxShardsPerExecutor×executors and
+// maxK (the engine's shard ceiling).
+func AdaptiveShards(rows, executors, maxK int) int {
+	if executors < 1 {
+		executors = 1
+	}
+	k := executors
+	for k+executors <= maxShardsPerExecutor*executors && rows/(k+executors) >= targetRowsPerShard {
+		k += executors
+	}
+	if k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Trainer runs the Bismarck epoch loop over remote executors: the table
+// is partitioned like the in-process sharded mode, the shards scatter to
+// executor processes, and every epoch is one STEP round trip per shard
+// with the replicas merged by row-weighted averaging. Because the remote
+// runners slot into the same parallel.ShardedEpoch the local mode uses,
+// a distributed run over healthy executors produces exactly the model
+// the in-process sharded run with the same K, seed, and ordering would.
+type Trainer struct {
+	// Executors is the dialable host:port list (required, non-empty).
+	Executors []string
+	// TaskName and TaskParams rebuild the task on the executors (the
+	// registry name and a TaskSpec.Snapshot of Task).
+	TaskName   string
+	TaskParams map[string]string
+	// Task is the coordinator-side task (merge dims, initial model).
+	Task core.Task
+	Step core.StepRule
+	// OrderName is the spec order-knob name, mapped via OrderByte.
+	OrderName string
+	MaxEpochs int
+	// Shards is the partition count K; 0 picks AdaptiveShards.
+	Shards int
+	// MaxShards bounds the adaptive K (the spec's shard ceiling).
+	MaxShards  int
+	Strategy   engine.ShardStrategy
+	RelTol     float64
+	TargetLoss float64
+	Seed       int64
+	InitModel  vector.Dense
+	SkipLoss   bool
+	Deadline   time.Time
+	// Timeout bounds each executor round trip (0: the dist default).
+	Timeout time.Duration
+	Hooks   Hooks
+}
+
+// Run partitions the table, scatters it, and trains the task.
+func (tr *Trainer) Run(tbl *engine.Table) (*core.Result, error) {
+	if len(tr.Executors) == 0 {
+		return nil, fmt.Errorf("dist: Executors is required")
+	}
+	if tr.MaxEpochs <= 0 {
+		return nil, fmt.Errorf("dist: MaxEpochs must be > 0")
+	}
+	if tr.Step == nil {
+		return nil, fmt.Errorf("dist: Step is required")
+	}
+	if tr.Task == nil {
+		return nil, fmt.Errorf("dist: Task is required")
+	}
+	if dim := tr.Task.Dim(); dim > MaxWireDim {
+		return nil, fmt.Errorf("dist: task dimension %d exceeds the wire limit %d "+
+			"(train in-process with shards= instead)", dim, MaxWireDim)
+	}
+	k := tr.Shards
+	if k < 1 {
+		maxK := tr.MaxShards
+		if maxK < 1 {
+			maxK = maxShardsPerExecutor * len(tr.Executors)
+		}
+		k = AdaptiveShards(tbl.NumRows(), len(tr.Executors), maxK)
+	}
+	sharded, err := engine.ShardTable(tbl, k, tr.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	defer sharded.Close()
+
+	co, err := NewCoordinator(tr.Executors, sharded, ShardTask{
+		Name:   tr.TaskName,
+		Params: tr.TaskParams,
+		Order:  OrderByte(tr.OrderName),
+		Seed:   tr.Seed,
+	}, tr.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	co.Hooks = tr.Hooks
+
+	se, err := parallel.NewShardedEpochRunners(tr.Task, co.Runners())
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Drive(se, parallel.DriveConfig{
+		Task: tr.Task, Step: tr.Step, MaxEpochs: tr.MaxEpochs,
+		RelTol: tr.RelTol, TargetLoss: tr.TargetLoss, Seed: tr.Seed,
+		InitModel: tr.InitModel, SkipLoss: tr.SkipLoss, Deadline: tr.Deadline,
+	})
+}

@@ -151,6 +151,43 @@ func ShardTable(src *Table, k int, strategy ShardStrategy) (*ShardedTable, error
 	return st, nil
 }
 
+// ShardChunks streams shard i's rows as chunks of encoded records for
+// network shipping: fn receives consecutive batches whose summed record
+// bytes stay under maxBytes (a single over-sized record still travels
+// alone — the transport's frame cap is the caller's to enforce). The
+// record slices are freshly encoded and do not alias heap pages, so fn
+// may retain them until it returns.
+func (st *ShardedTable) ShardChunks(i int, maxBytes int, fn func(records [][]byte) error) error {
+	if maxBytes <= 0 {
+		return fmt.Errorf("engine: ShardChunks wants a positive byte budget, got %d", maxBytes)
+	}
+	var chunk [][]byte
+	var size int
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		err := fn(chunk)
+		chunk, size = chunk[:0], 0
+		return err
+	}
+	err := st.shards[i].ScanReuse(func(tp Tuple) error {
+		rec := tp.Encode()
+		if size+len(rec) > maxBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		chunk = append(chunk, rec)
+		size += len(rec)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
 // NumShards returns the partition count K.
 func (st *ShardedTable) NumShards() int { return len(st.shards) }
 

@@ -20,19 +20,36 @@ import (
 // Unlike the shared-memory modes, workers share no mutable state during an
 // epoch: each scans its own shard's decoded-row cache and updates its own
 // dense replica, which is what lets the mode scale past one shared model
-// and is the seam later distributed backends hang off.
+// and is the seam distributed backends hang off — a ShardRunner does not
+// have to scan anything locally; internal/dist implements it with one
+// remote round trip per epoch to an executor process.
+
+// ShardRunner is one shard's training endpoint: the per-shard seam of the
+// sharded epoch. RunEpoch must leave the shard's post-epoch model replica
+// in replica (len == dim), starting from w with step size alpha; LossAt
+// returns the shard's summed example loss at w; Rows is the shard's row
+// count, the weight of its replica in the merge. Implementations are
+// called from one goroutine per shard per pass — a runner never races with
+// itself, but runners sharing a resource (a connection to one executor)
+// must serialize internally.
+type ShardRunner interface {
+	RunEpoch(epoch int, w vector.Dense, alpha float64, replica vector.Dense) error
+	LossAt(w vector.Dense) (float64, error)
+	Rows() int
+}
 
 // ShardedEpoch drives one shared-nothing epoch (and the matching loss
-// pass) over a partitioned table. It is the reusable steady-state core of
-// ShardedTrainer, exposed so benchmarks and allocation tests measure the
-// exact trainer path: all per-shard state — epoch sources, replicas, step
-// closures, partial-loss accumulators — is allocated once at construction,
-// and Run itself allocates nothing per row.
+// pass) over K shard runners. It is the reusable steady-state core of
+// ShardedTrainer (and of dist.Trainer, whose runners are remote executor
+// shards), exposed so benchmarks and allocation tests measure the exact
+// trainer path: all per-shard state — runners, replicas, partial-loss
+// slots — is allocated once at construction, and Run itself allocates
+// nothing per row.
 type ShardedEpoch struct {
 	task     core.Task
-	prepares []func(epoch int, rng *rand.Rand) error
-	rngs     []*rand.Rand
-	workers  []*shardWorker
+	runners  []ShardRunner
+	replicas []vector.Dense
+	partials []float64
 	weights  []float64
 	total    float64
 
@@ -45,72 +62,128 @@ type ShardedEpoch struct {
 	wg   sync.WaitGroup
 }
 
-// shardWorker is one shard's private training state: its scan source, its
-// model replica, and the pre-bound callbacks the scans run — bound once so
-// a steady-state epoch creates no closures.
-type shardWorker struct {
-	se      *ShardedEpoch
+// localShard is the in-process ShardRunner: one shard heap's scan source,
+// rng stream, and the pre-bound callbacks the scans run — bound once so a
+// steady-state epoch creates no closures.
+type localShard struct {
+	task    core.Task
 	src     engine.Relation
-	model   core.DenseModel // W is this shard's replica
-	partial float64         // loss accumulator of the last Loss pass
+	prepare func(epoch int, rng *rand.Rand) error
+	rng     *rand.Rand
+	rows    int
+
+	// Per-call state, set at the top of RunEpoch / LossAt.
+	model   core.DenseModel // replica the epoch steps (aliases the caller's)
+	cur     vector.Dense    // model LossAt evaluates
+	alpha   float64
+	partial float64
 	stepFn  func(engine.Tuple) error
 	lossFn  func(engine.Tuple) error
 }
 
-func (sw *shardWorker) step(tp engine.Tuple) error {
-	sw.se.task.Step(&sw.model, tp, sw.se.alpha)
+func (ls *localShard) step(tp engine.Tuple) error {
+	ls.task.Step(&ls.model, tp, ls.alpha)
 	return nil
 }
 
-func (sw *shardWorker) loss(tp engine.Tuple) error {
-	sw.partial += sw.se.task.Loss(sw.se.cur, tp)
+func (ls *localShard) loss(tp engine.Tuple) error {
+	ls.partial += ls.task.Loss(ls.cur, tp)
 	return nil
 }
 
-// NewShardedEpoch builds the per-shard state over a partitioned table.
-// Shard i's ordering runs off its own rng stream seeded seed+i, so shard 0
-// of a 1-shard partition replays exactly the sequential trainer's stream
-// (the determinism the K=1 parity test pins down).
+// RunEpoch applies the shard's ordering, copies w into replica, and scans
+// the shard performing gradient steps with step size alpha.
+func (ls *localShard) RunEpoch(epoch int, w vector.Dense, alpha float64, replica vector.Dense) error {
+	if err := ls.prepare(epoch, ls.rng); err != nil {
+		return err
+	}
+	copy(replica, w)
+	ls.model.W, ls.alpha = replica, alpha
+	return ls.src.Scan(ls.stepFn)
+}
+
+// LossAt sums the shard's example losses at w.
+func (ls *localShard) LossAt(w vector.Dense) (float64, error) {
+	ls.cur, ls.partial = w, 0
+	if err := ls.src.Scan(ls.lossFn); err != nil {
+		return 0, err
+	}
+	return ls.partial, nil
+}
+
+// Rows is the shard's row count (its merge weight).
+func (ls *localShard) Rows() int { return ls.rows }
+
+// NewShardedEpoch builds in-process per-shard runners over a partitioned
+// table. Shard i's ordering runs off its own rng stream seeded seed+i, so
+// shard 0 of a 1-shard partition replays exactly the sequential trainer's
+// stream (the determinism the K=1 parity test pins down).
 func NewShardedEpoch(task core.Task, st *engine.ShardedTable, order core.OrderStrategy, seed int64) (*ShardedEpoch, error) {
 	if order == nil {
 		order = core.NoOrder{}
 	}
-	k := st.NumShards()
-	se := &ShardedEpoch{
-		task:     task,
-		prepares: make([]func(int, *rand.Rand) error, k),
-		rngs:     make([]*rand.Rand, k),
-		workers:  make([]*shardWorker, k),
-		weights:  make([]float64, k),
-		errs:     make([]error, k),
-	}
+	runners := make([]ShardRunner, st.NumShards())
 	for i, rows := range st.RowCounts() {
 		src, prepare, err := core.EpochSource(st.Shard(i), order, engine.Profile{})
 		if err != nil {
 			return nil, err
 		}
-		se.prepares[i] = prepare
-		se.rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
-		sw := &shardWorker{se: se, src: src}
-		sw.model.W = vector.NewDense(task.Dim())
-		sw.stepFn = sw.step
-		sw.lossFn = sw.loss
-		se.workers[i] = sw
-		se.weights[i] = float64(rows)
-		se.total += float64(rows)
+		ls := &localShard{task: task, src: src, prepare: prepare,
+			rng: rand.New(rand.NewSource(seed + int64(i))), rows: rows}
+		ls.stepFn = ls.step
+		ls.lossFn = ls.loss
+		runners[i] = ls
+	}
+	return NewShardedEpochRunners(task, runners)
+}
+
+// NewShardedEpochRunners builds the epoch driver over caller-supplied
+// shard runners — the constructor distributed backends use, handing in one
+// remote runner per shard. Replica buffers and merge weights (from each
+// runner's Rows) are allocated here, once.
+func NewShardedEpochRunners(task core.Task, runners []ShardRunner) (*ShardedEpoch, error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("parallel: sharded epoch needs at least one shard runner")
+	}
+	k := len(runners)
+	se := &ShardedEpoch{
+		task:     task,
+		runners:  runners,
+		replicas: make([]vector.Dense, k),
+		partials: make([]float64, k),
+		weights:  make([]float64, k),
+		errs:     make([]error, k),
+	}
+	for i, r := range runners {
+		se.replicas[i] = vector.NewDense(task.Dim())
+		se.weights[i] = float64(r.Rows())
+		se.total += se.weights[i]
 	}
 	return se, nil
 }
 
-// Run executes one shared-nothing epoch: every worker copies w into its
-// replica, applies its shard's ordering, scans its shard performing
-// gradient steps with step size alpha, and the replicas are merged back
-// into w by row-weighted averaging. A worker error — or panic — fails the
-// epoch (and with it the statement), never the process; w is then left
-// unchanged, since the merge only runs when every shard finished.
+// resetErrs clears the per-shard error slots before a pass. The slots are
+// reused across Run and Loss calls; without the explicit reset, a pass
+// whose worker bailed before reaching its slot assignment (a panic path, a
+// future early return) could leak a previous pass's failure into this
+// one's verdict — a failed Run must never make a later Loss report stale
+// errors, and vice versa.
+func (se *ShardedEpoch) resetErrs() {
+	for i := range se.errs {
+		se.errs[i] = nil
+	}
+}
+
+// Run executes one shared-nothing epoch: every runner starts from w,
+// applies its shard's ordering, performs its shard's gradient steps with
+// step size alpha, and the replicas are merged back into w by row-weighted
+// averaging. A worker error — or panic — fails the epoch (and with it the
+// statement), never the process; w is then left unchanged, since the merge
+// only runs when every shard finished.
 func (se *ShardedEpoch) Run(epoch int, w vector.Dense, alpha float64) error {
+	se.resetErrs()
 	se.cur, se.alpha, se.epoch = w, alpha, epoch
-	for i := range se.workers {
+	for i := range se.runners {
 		se.wg.Add(1)
 		go se.runWorker(i)
 	}
@@ -126,11 +199,11 @@ func (se *ShardedEpoch) Run(epoch int, w vector.Dense, alpha float64) error {
 	for j := range w {
 		w[j] = 0
 	}
-	for i, sw := range se.workers {
+	for i := range se.runners {
 		if se.weights[i] == 0 {
 			continue
 		}
-		vector.Axpy(w, sw.model.W, se.weights[i]/se.total)
+		vector.Axpy(w, se.replicas[i], se.weights[i]/se.total)
 	}
 	return nil
 }
@@ -138,13 +211,7 @@ func (se *ShardedEpoch) Run(epoch int, w vector.Dense, alpha float64) error {
 func (se *ShardedEpoch) runWorker(i int) {
 	defer se.wg.Done()
 	defer se.recoverInto(i)
-	sw := se.workers[i]
-	if err := se.prepares[i](se.epoch, se.rngs[i]); err != nil {
-		se.errs[i] = err
-		return
-	}
-	copy(sw.model.W, se.cur)
-	se.errs[i] = sw.src.Scan(sw.stepFn)
+	se.errs[i] = se.runners[i].RunEpoch(se.epoch, se.cur, se.alpha, se.replicas[i])
 }
 
 // Loss evaluates the total objective of w across all shards in parallel:
@@ -152,8 +219,9 @@ func (se *ShardedEpoch) runWorker(i int) {
 // no one mutates during the pass) and the partials are reduced in shard
 // order, so the sum is deterministic for a fixed partitioning.
 func (se *ShardedEpoch) Loss(w vector.Dense) (float64, error) {
+	se.resetErrs()
 	se.cur = w
-	for i := range se.workers {
+	for i := range se.runners {
 		se.wg.Add(1)
 		go se.lossWorker(i)
 	}
@@ -163,7 +231,7 @@ func (se *ShardedEpoch) Loss(w vector.Dense) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		sum += se.workers[i].partial
+		sum += se.partials[i]
 	}
 	if r, ok := se.task.(core.Regularized); ok {
 		sum += r.RegPenalty(w)
@@ -174,9 +242,7 @@ func (se *ShardedEpoch) Loss(w vector.Dense) (float64, error) {
 func (se *ShardedEpoch) lossWorker(i int) {
 	defer se.wg.Done()
 	defer se.recoverInto(i)
-	sw := se.workers[i]
-	sw.partial = 0
-	se.errs[i] = sw.src.Scan(sw.lossFn)
+	se.partials[i], se.errs[i] = se.runners[i].LossAt(se.cur)
 }
 
 // recoverInto converts a worker panic into that shard's error slot: one
@@ -185,6 +251,82 @@ func (se *ShardedEpoch) recoverInto(i int) {
 	if r := recover(); r != nil {
 		se.errs[i] = fmt.Errorf("parallel: shard %d worker panicked: %v", i, r)
 	}
+}
+
+// DriveConfig is the convergence bookkeeping of one sharded epoch loop,
+// shared between the in-process ShardedTrainer and distributed trainers
+// built on remote runners. Field meanings mirror core.Trainer.
+type DriveConfig struct {
+	Task       core.Task
+	Step       core.StepRule
+	MaxEpochs  int
+	RelTol     float64
+	TargetLoss float64
+	Seed       int64
+	InitModel  vector.Dense
+	SkipLoss   bool
+	Deadline   time.Time
+}
+
+// Drive runs the Bismarck epoch loop over a built ShardedEpoch: run an
+// epoch, merge, compute the loss, test convergence, repeat — the single
+// loop both the in-process and the distributed sharded trainers share.
+func Drive(se *ShardedEpoch, cfg DriveConfig) (*core.Result, error) {
+	if cfg.MaxEpochs <= 0 {
+		return nil, fmt.Errorf("parallel: MaxEpochs must be > 0")
+	}
+	if cfg.Step == nil {
+		return nil, fmt.Errorf("parallel: Step is required")
+	}
+	w := cfg.InitModel
+	if w == nil {
+		w = core.InitialModel(cfg.Task, cfg.Seed)
+	} else {
+		w = w.Clone()
+	}
+
+	res := &core.Result{}
+	start := time.Now()
+	prevLoss := math.NaN()
+	for e := 0; e < cfg.MaxEpochs; e++ {
+		if !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline) {
+			res.Model = w
+			res.Total = time.Since(start)
+			return res, core.ErrDeadline
+		}
+		epochStart := time.Now()
+		if err := se.Run(e, w, cfg.Step.Alpha(e)); err != nil {
+			return nil, err
+		}
+		res.Epochs = e + 1
+		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+
+		if !cfg.SkipLoss {
+			loss, err := se.Loss(w)
+			if err != nil {
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+			if cfg.TargetLoss != 0 && loss <= cfg.TargetLoss {
+				res.Converged = true
+				break
+			}
+			if cfg.RelTol > 0 && !math.IsNaN(prevLoss) {
+				den := math.Abs(prevLoss)
+				if den == 0 {
+					den = 1
+				}
+				if math.Abs(prevLoss-loss)/den < cfg.RelTol {
+					res.Converged = true
+					break
+				}
+			}
+			prevLoss = loss
+		}
+	}
+	res.Model = w
+	res.Total = time.Since(start)
+	return res, nil
 }
 
 // ShardedTrainer runs the Bismarck epoch loop in the shared-nothing
@@ -233,54 +375,9 @@ func (tr *ShardedTrainer) Run(tbl *engine.Table) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	w := tr.InitModel
-	if w == nil {
-		w = core.InitialModel(tr.Task, tr.Seed)
-	} else {
-		w = w.Clone()
-	}
-
-	res := &core.Result{}
-	start := time.Now()
-	prevLoss := math.NaN()
-	for e := 0; e < tr.MaxEpochs; e++ {
-		if !tr.Deadline.IsZero() && time.Now().After(tr.Deadline) {
-			res.Model = w
-			res.Total = time.Since(start)
-			return res, core.ErrDeadline
-		}
-		epochStart := time.Now()
-		if err := se.Run(e, w, tr.Step.Alpha(e)); err != nil {
-			return nil, err
-		}
-		res.Epochs = e + 1
-		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
-
-		if !tr.SkipLoss {
-			loss, err := se.Loss(w)
-			if err != nil {
-				return nil, err
-			}
-			res.Losses = append(res.Losses, loss)
-			if tr.TargetLoss != 0 && loss <= tr.TargetLoss {
-				res.Converged = true
-				break
-			}
-			if tr.RelTol > 0 && !math.IsNaN(prevLoss) {
-				den := math.Abs(prevLoss)
-				if den == 0 {
-					den = 1
-				}
-				if math.Abs(prevLoss-loss)/den < tr.RelTol {
-					res.Converged = true
-					break
-				}
-			}
-			prevLoss = loss
-		}
-	}
-	res.Model = w
-	res.Total = time.Since(start)
-	return res, nil
+	return Drive(se, DriveConfig{
+		Task: tr.Task, Step: tr.Step, MaxEpochs: tr.MaxEpochs,
+		RelTol: tr.RelTol, TargetLoss: tr.TargetLoss, Seed: tr.Seed,
+		InitModel: tr.InitModel, SkipLoss: tr.SkipLoss, Deadline: tr.Deadline,
+	})
 }

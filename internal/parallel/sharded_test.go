@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -298,3 +299,113 @@ func TestShardedOverBudgetTableTrainsViaReuse(t *testing.T) {
 		t.Fatalf("no progress on the reuse path (%g → %g)", res.Losses[0], res.FinalLoss())
 	}
 }
+
+// flakyRunner is a ShardRunner whose passes fail on demand — the fixture
+// for the stale-error-slot regression tests below.
+type flakyRunner struct {
+	rows     int
+	failRun  bool
+	failLoss bool
+	loss     float64
+}
+
+func (f *flakyRunner) RunEpoch(epoch int, w vector.Dense, alpha float64, replica vector.Dense) error {
+	if f.failRun {
+		return errFlakyRun
+	}
+	copy(replica, w)
+	return nil
+}
+
+func (f *flakyRunner) LossAt(w vector.Dense) (float64, error) {
+	if f.failLoss {
+		return 0, errFlakyLoss
+	}
+	return f.loss, nil
+}
+
+func (f *flakyRunner) Rows() int { return f.rows }
+
+var (
+	errFlakyRun  = errors.New("flaky: run failed")
+	errFlakyLoss = errors.New("flaky: loss failed")
+)
+
+// TestShardedStaleErrorNeverLeaksAcrossPasses is the error-slot reset
+// regression test: ShardedEpoch reuses one errs slice across Run and Loss,
+// so each pass must clear the slots before spawning workers. A Run that
+// failed must not make a subsequent healthy Loss report the stale Run
+// error — and vice versa.
+func TestShardedStaleErrorNeverLeaksAcrossPasses(t *testing.T) {
+	task := tasks.NewLR(3)
+	sick := &flakyRunner{rows: 10, failRun: true, loss: 1.5}
+	fine := &flakyRunner{rows: 20, loss: 2.5}
+	se, err := NewShardedEpochRunners(task, []ShardRunner{fine, sick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vector.Dense{0.1, 0.2, 0.3}
+
+	// Pass 1: Run fails (shard 1's slot holds errFlakyRun afterwards).
+	if err := se.Run(0, w, 0.1); !errors.Is(err, errFlakyRun) {
+		t.Fatalf("Run: want errFlakyRun, got %v", err)
+	}
+	// Pass 2: a healthy Loss must succeed — the stale Run error must not
+	// leak into its verdict — and report the true sum plus regularization.
+	loss, err := se.Loss(w)
+	if err != nil {
+		t.Fatalf("stale Run error leaked into Loss: %v", err)
+	}
+	want := 1.5 + 2.5
+	if r, ok := core.Task(task).(core.Regularized); ok {
+		want += r.RegPenalty(w)
+	}
+	if math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("Loss = %g, want %g", loss, want)
+	}
+
+	// And the mirror image: a failed Loss must not poison a later Run.
+	sick.failRun, sick.failLoss = false, true
+	if _, err := se.Loss(w); !errors.Is(err, errFlakyLoss) {
+		t.Fatalf("Loss: want errFlakyLoss, got %v", err)
+	}
+	sick.failLoss = false
+	if err := se.Run(1, w, 0.1); err != nil {
+		t.Fatalf("stale Loss error leaked into Run: %v", err)
+	}
+}
+
+// TestShardedRunnersMergeIsRowWeighted pins the merge algebra on the
+// runner seam directly: replicas combine weighted by each runner's row
+// count, the contract remote executors rely on.
+func TestShardedRunnersMergeIsRowWeighted(t *testing.T) {
+	task := tasks.NewLR(2)
+	a := &constRunner{rows: 30, w: vector.Dense{1, 0}}
+	b := &constRunner{rows: 10, w: vector.Dense{0, 1}}
+	se, err := NewShardedEpochRunners(task, []ShardRunner{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vector.NewDense(2)
+	if err := se.Run(0, w, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	want := vector.Dense{0.75, 0.25} // 30/40 · e0 + 10/40 · e1
+	if d := vector.Dist2(w, want); d > 1e-24 {
+		t.Fatalf("merged model %v, want %v", w, want)
+	}
+}
+
+// constRunner reports a fixed post-epoch replica regardless of input.
+type constRunner struct {
+	rows int
+	w    vector.Dense
+}
+
+func (c *constRunner) RunEpoch(epoch int, w vector.Dense, alpha float64, replica vector.Dense) error {
+	copy(replica, c.w)
+	return nil
+}
+
+func (c *constRunner) LossAt(w vector.Dense) (float64, error) { return 0, nil }
+func (c *constRunner) Rows() int                              { return c.rows }

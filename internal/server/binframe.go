@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 
+	"bismarck/internal/dist"
 	"bismarck/internal/serve"
 	"bismarck/internal/spec"
 )
@@ -306,20 +307,49 @@ func (b *binSession) handle(payload []byte, cancel <-chan struct{}) bool {
 // full admission queue abandon their booking when the server closes
 // (s.closing), and write failures close the connection so the read side
 // unblocks — the same teardown discipline as the text loop.
+//
+// Executor opcodes (distributed training, internal/dist) share the
+// framing and are routed by the opcode byte before the predict path's
+// zero-allocation decode; their shard state is per-connection and is
+// released when the loop exits, so a lost coordinator can never leak
+// shard heaps past its TCP session.
 func (s *TCPServer) serveBinary(conn net.Conn, w *bufio.Writer, wmu *sync.Mutex) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	b := binSession{plane: s.m.plane}
+	var ex *dist.Executor // lazily built on the first executor frame
+	defer func() {
+		if ex != nil {
+			ex.Close()
+			s.m.execConns.Add(-1)
+		}
+	}()
 	var payload []byte
 	for {
 		p, err := readBinFrame(br, &payload)
 		if err != nil {
 			return
 		}
-		if !b.handle(p, s.closing) {
-			return
+		var out []byte
+		if isExecOp(p[0]) {
+			if ex == nil {
+				ex = dist.NewExecutor(buildRegistryTask,
+					execGate{g: s.m.execGate, closing: s.closing})
+				ex.Hooks = s.execHooks
+				s.m.execConns.Add(1)
+			}
+			resp, ok := ex.Handle(p)
+			if !ok {
+				return
+			}
+			out = resp
+		} else {
+			if !b.handle(p, s.closing) {
+				return
+			}
+			out = b.out
 		}
 		wmu.Lock()
-		_, werr := w.Write(b.out)
+		_, werr := w.Write(out)
 		if ferr := w.Flush(); werr == nil {
 			werr = ferr
 		}

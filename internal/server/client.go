@@ -6,6 +6,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 
 	"bismarck/internal/spec"
 )
@@ -13,9 +14,20 @@ import (
 // Client speaks the bismarckd wire protocol: one statement out, one
 // framed response back. It is what `bismarck -connect` and the e2e tests
 // drive; any line-oriented tool (nc) works just as well.
+//
+// Pipelining clients send frames from whatever goroutine produced them,
+// so the write side (Send, SendFrame, SendBinPredict) is mutex-
+// serialized: without it, two in-flight SendFrames could interleave
+// their bytes mid-line and desync the connection's framing for good —
+// and the binary path's reused encode buffer would race outright. The
+// read side stays single-reader (one goroutine drains responses), which
+// is the only arrangement id-matched pipelining supports anyway.
 type Client struct {
 	conn net.Conn
 	sc   *bufio.Scanner
+
+	// wmu serializes writes; see the type comment.
+	wmu sync.Mutex
 
 	// Binary-mode state, nil/empty until Binary() negotiates the switch.
 	br      *bufio.Reader
@@ -79,6 +91,8 @@ func (c *Client) Exec(stmt string) (string, error) {
 // Send writes raw statement text (the caller owns ';' placement — the
 // server only executes once a line ends with one).
 func (c *Client) Send(text string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	_, err := fmt.Fprintln(c.conn, text)
 	return err
 }
@@ -134,6 +148,8 @@ func (c *Client) SendFrame(id uint64, stmt string) error {
 	if s == "" {
 		return fmt.Errorf("server: empty frame statement")
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	_, err := fmt.Fprintf(c.conn, "%s%d %s\n", FramePrefix, id, s)
 	return err
 }
@@ -217,6 +233,8 @@ func (c *Client) SendBinPredict(id uint64, model string, points [][]float64) err
 	if c.br == nil {
 		return fmt.Errorf("server: SendBinPredict before Binary() negotiated binary mode")
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	buf, err := appendBinRequest(c.sendBuf[:0], id, model, points)
 	c.sendBuf = buf
 	if err != nil {

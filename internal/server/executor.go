@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bismarck/internal/core"
+	"bismarck/internal/dist"
+	"bismarck/internal/serve"
+	"bismarck/internal/spec"
+)
+
+// This file is the daemon side of distributed training (internal/dist):
+// binary connections carrying executor opcodes are served by a
+// per-connection dist.Executor whose tasks rebuild from the spec registry
+// — the exact metadata-only path model snapshots use — and whose requests
+// pass through a dedicated admission gate, so a storm of STEP frames
+// sheds with the same "busy: ... retry_after_ms" contract as point
+// predicts instead of oversubscribing the daemon.
+
+// buildRegistryTask rebuilds a training task from its registry name and
+// fully-resolved parameters — the dist.BuildTask the executors use. No
+// data view is available, mirroring LoadSnapshot: a coordinator ships a
+// TaskSpec.Snapshot of its built task, which carries every parameter, so
+// Build never reaches dimension inference.
+func buildRegistryTask(name string, params map[string]string) (core.Task, error) {
+	ts, err := spec.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.RebindStrings(ts.Params, params)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Build(spec.BuildInput{Params: p})
+}
+
+// execGate adapts a serve.Gate (plus the server's closing channel) to
+// dist.Gate: synchronous shed with the retry-after hint the coordinator
+// parses, a cancellable wait for a slot, and ok=false at shutdown so the
+// binary loop tears the connection down instead of answering.
+type execGate struct {
+	g       *serve.Gate
+	closing <-chan struct{}
+}
+
+// Admit implements dist.Gate.
+func (e execGate) Admit() (func(), bool, error) {
+	t, err := e.g.Admit()
+	if err != nil {
+		return nil, true, err
+	}
+	if !t.WaitOrCancel(e.closing) {
+		return nil, false, nil
+	}
+	return t.Release, true, nil
+}
+
+// isExecOp reports whether a binary frame opcode belongs to the executor
+// protocol (dist ops continue the numbering after predict).
+func isExecOp(op byte) bool {
+	return op >= dist.OpShardLoad && op <= dist.OpShardFree
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"bismarck/internal/engine"
+)
+
+// execBannerRe pins the executor-mode startup banner — the multi-process
+// harness scrapes the bound address out of it, so a reworded banner must
+// fail here, not silently hang the CI step.
+var execBannerRe = regexp.MustCompile(`bismarckd: shard executor on (\S+) \(in-memory`)
+
+// execProc is one real bismarckd -executor OS process.
+type execProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startExecProc launches the built daemon in executor mode on an
+// ephemeral port and waits for the banner to learn the address.
+func startExecProc(t *testing.T, bin string) *execProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-executor", "-listen", "127.0.0.1:0")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting executor daemon: %v", err)
+	}
+	p := &execProc{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if m := execBannerRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("executor daemon never printed its banner")
+	}
+	return p
+}
+
+// TestMultiProcessDistributedTrainSurvivesKill is the out-of-process
+// rehearsal of the crash matrix: two real bismarckd -executor processes,
+// an in-process coordinator running an ASYNC distributed TRAIN against
+// them, and a SIGKILL of one executor mid-run. The statement must requeue
+// onto the survivor and commit a model. Costs a `go build` and real
+// process churn, so it only runs when BISMARCK_MULTIPROC_E2E=1 (the CI
+// distributed step sets it).
+func TestMultiProcessDistributedTrainSurvivesKill(t *testing.T) {
+	if os.Getenv("BISMARCK_MULTIPROC_E2E") != "1" {
+		t.Skip("set BISMARCK_MULTIPROC_E2E=1 to run the multi-process e2e")
+	}
+	bin := filepath.Join(t.TempDir(), "bismarckd")
+	build := exec.Command("go", "build", "-o", bin, "bismarck/cmd/bismarckd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bismarckd: %v\n%s", err, out)
+	}
+	victim := startExecProc(t, bin)
+	survivor := startExecProc(t, bin)
+
+	cat := engine.NewCatalog()
+	m := NewManager(cat, Options{Workers: 2})
+	defer m.Drain()
+	seedPapers(t, m, 600)
+	var out strings.Builder
+	s := m.NewSession(&out)
+
+	// Enough epochs that the SIGKILL lands while STEP round trips are
+	// still in flight; the run stays correct either way.
+	if err := s.Exec(fmt.Sprintf(
+		"SELECT vec, label FROM papers TO TRAIN lr WITH epochs=40, shards=4, seed=7, executors='%s,%s' INTO dm ASYNC",
+		victim.addr, survivor.addr)); err != nil {
+		t.Fatalf("submitting distributed train: %v", err)
+	}
+	match := jobIDRe.FindStringSubmatch(out.String())
+	if match == nil {
+		t.Fatalf("submit gave no job id: %q", out.String())
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing victim executor: %v", err)
+	}
+	_ = victim.cmd.Wait()
+
+	out.Reset()
+	if err := s.Exec("WAIT JOB " + match[1]); err != nil {
+		t.Fatalf("distributed train did not survive the executor kill: %v", err)
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Fatalf("job did not finish done: %q", out.String())
+	}
+	if model := readModel(t, cat, "dm"); len(model) == 0 {
+		t.Fatal("committed model is empty")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"bismarck/internal/dist"
 	"bismarck/internal/spec"
 )
 
@@ -78,6 +79,10 @@ const (
 // TCPServer serves a Manager over a listener, one session per connection.
 type TCPServer struct {
 	m *Manager
+
+	// execHooks instruments per-connection distributed executors
+	// (deterministic crash tests); set before Serve.
+	execHooks dist.ExecutorHooks
 
 	mu      sync.Mutex
 	lis     net.Listener

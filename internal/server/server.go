@@ -22,6 +22,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bismarck/internal/engine"
@@ -56,6 +57,12 @@ type Options struct {
 	// global queue).
 	ServeModelInflight int
 	ServeModelQueue    int
+	// ExecInflight / ExecQueue size the distributed-executor admission
+	// gate: concurrent shard-op slots and the bounded wait queue beyond
+	// which executor frames shed with "ERR busy" (0 = the gate's
+	// defaults, GOMAXPROCS and 4× that).
+	ExecInflight int
+	ExecQueue    int
 }
 
 // Hooks instruments the manager for deterministic concurrency tests.
@@ -75,6 +82,12 @@ type Manager struct {
 	sched *scheduler
 	plane *serve.Plane
 	opts  Options
+
+	// execGate admission-controls distributed-executor shard ops;
+	// execConns counts live executor-serving binary connections (SHOW
+	// SERVING reports both).
+	execGate  *serve.Gate
+	execConns atomic.Int64
 
 	// Hooks must be set before the first session runs a statement.
 	Hooks Hooks
@@ -102,6 +115,7 @@ func NewManager(cat *engine.Catalog, opts Options) *Manager {
 	m.plane = serve.New(cat, m.locks, serve.Options{
 		Inflight: opts.ServeInflight, MaxQueue: opts.ServeQueue,
 		ModelInflight: opts.ServeModelInflight, ModelQueue: opts.ServeModelQueue})
+	m.execGate = serve.NewGate(opts.ExecInflight, opts.ExecQueue)
 	return m
 }
 
@@ -238,6 +252,10 @@ func (s *Session) Run(st *spec.Statement, text string) error {
 		gs, models := s.m.plane.Stats()
 		fmt.Fprintf(s.out, "gate inflight=%d/%d queued=%d/%d models=%d\n",
 			gs.Inflight, gs.InflightCap, gs.Queued, gs.QueueCap, gs.Models)
+		eIn, eQ := s.m.execGate.Caps()
+		fmt.Fprintf(s.out, "executor conns=%d inflight=%d/%d queued=%d/%d retry_after_ms=%d\n",
+			s.m.execConns.Load(), s.m.execGate.Inflight(), eIn,
+			s.m.execGate.Queued(), eQ, s.m.execGate.RetryHintMS())
 		for _, ms := range models {
 			fmt.Fprintf(s.out, "model %-12s hits=%-6d fills=%-4d sheds=%-4d queued=%-3d retry_after_ms=%d\n",
 				ms.Model, ms.Hits, ms.Fills, ms.Sheds, ms.Queued, ms.RetryAfterMS)

@@ -37,6 +37,11 @@ var seedStatements = []string{
 	"SELECT * FROM t TO TRAIN svm WITH shards=2, shard_by=hash INTO m ASYNC;",
 	"SHOW SHARDS forest;",
 	"SHOW SHARDS 'my table' 8;",
+	// Distributed-executor grammar (the address list is a quoted string;
+	// knob-level validation runs at bind time, so these only parse here).
+	"SELECT vec, label FROM papers TO TRAIN lr WITH executors='127.0.0.1:4053,127.0.0.1:4054', epochs=5 INTO m;",
+	"SELECT * FROM t TO TRAIN svm WITH executors='h1:1234', shards=4, shard_by=hash INTO m ASYNC;",
+	"SELECT * FROM t TO TRAIN svm WITH executors='no-port' INTO m;",
 	// Inline point-PREDICT grammar.
 	"PREDICT (1.5, 2.5) USING m;",
 	"PREDICT (1) USING 'my model';",
@@ -69,6 +74,8 @@ var seedStatements = []string{
 	"SHOW SHARDS forest 0;",
 	"SHOW SHARDS forest 2.5;",
 	"SHOW SHARDS forest -1;",
+	"SHOW SHARDS forest 1025;",
+	"SHOW SHARDS forest 99999999;",
 	"SELECT * FROM t TO PREDICT USING m ASYNC;",
 	"WAIT JOB -1;",
 	"WAIT JOB x;",
@@ -121,6 +128,8 @@ func TestFuzzSeedsRoundTrip(t *testing.T) {
 		"SHOW SHARDS forest 0;":                       true,
 		"SHOW SHARDS forest 2.5;":                     true,
 		"SHOW SHARDS forest -1;":                      true,
+		"SHOW SHARDS forest 1025;":                    true,
+		"SHOW SHARDS forest 99999999;":                true,
 		"SELECT * FROM t TO PREDICT USING m ASYNC;":   true,
 		"WAIT JOB -1;":                                true,
 		"WAIT JOB x;":                                 true,

@@ -72,6 +72,13 @@ func FloatParam(key, help string) ParamSpec {
 	return ParamSpec{Key: key, Kind: PFloat, Help: help}
 }
 
+// StringParam builds a free-form string ParamSpec without a default
+// (absent binds to ""). For values an identifier cannot spell — host:port
+// lists, paths — written as quoted strings in the WITH clause.
+func StringParam(key, help string) ParamSpec {
+	return ParamSpec{Key: key, Kind: PString, Help: help}
+}
+
 // EnumParam builds a PEnum ParamSpec whose default is the first value.
 func EnumParam(key string, values []string, help string) ParamSpec {
 	d := IdentLit(values[0])

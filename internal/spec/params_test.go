@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,85 @@ func TestSplitKnobsConflicts(t *testing.T) {
 	}
 	if len(rest) != 1 || rest[0].Key != "rank" {
 		t.Fatalf("rest: %+v", rest)
+	}
+}
+
+// TestSplitKnobsExecutors covers the distributed-training knob: address
+// list parsing, composition with shards=K, and the conflict/reject rules
+// it shares with the in-process sharded mode.
+func TestSplitKnobsExecutors(t *testing.T) {
+	k, _, err := SplitKnobs([]Param{
+		{Key: KnobExecutors, Val: StringLit("127.0.0.1:4053, 127.0.0.1:4054")},
+		{Key: KnobShards, Val: IntLit(4)},
+		{Key: KnobShardBy, Val: IdentLit("hash")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Executors) != 2 || k.Executors[0] != "127.0.0.1:4053" || k.Executors[1] != "127.0.0.1:4054" {
+		t.Fatalf("executors: %v", k.Executors)
+	}
+	if k.Shards != 4 {
+		t.Fatalf("shards: %d", k.Shards)
+	}
+
+	// shard_by with executors alone is legal (the coordinator still
+	// partitions locally before shipping).
+	if _, _, err := SplitKnobs([]Param{
+		{Key: KnobExecutors, Val: StringLit("h:1")},
+		{Key: KnobShardBy, Val: IdentLit("hash")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rejects := [][]Param{
+		// Malformed address lists.
+		{{Key: KnobExecutors, Val: StringLit("no-port")}},
+		{{Key: KnobExecutors, Val: StringLit("h:0")}},
+		{{Key: KnobExecutors, Val: StringLit("h:70000")}},
+		{{Key: KnobExecutors, Val: StringLit("h:x")}},
+		{{Key: KnobExecutors, Val: StringLit(":4053")}},
+		{{Key: KnobExecutors, Val: StringLit("h:1,,h:2")}},
+		{{Key: KnobExecutors, Val: StringLit("h:1,h:1")}},
+		// Conflicts with the other training modes, same as shards.
+		{{Key: KnobExecutors, Val: StringLit("h:1")}, {Key: KnobParallel, Val: IdentLit("lock")}},
+		{{Key: KnobExecutors, Val: StringLit("h:1")}, {Key: KnobMRS, Val: IntLit(10)}},
+		{{Key: KnobExecutors, Val: StringLit("h:1")}, {Key: KnobReservoir, Val: IntLit(10)}},
+		{{Key: KnobExecutors, Val: StringLit("h:1")}, {Key: KnobWorkers, Val: IntLit(4)}},
+		{{Key: KnobExecutors, Val: StringLit("h:1")}, {Key: KnobSolver, Val: IdentLit("irls")}},
+	}
+	for _, with := range rejects {
+		if _, _, err := SplitKnobs(with); err == nil {
+			t.Fatalf("%+v: expected an error", with)
+		}
+	}
+}
+
+// TestParseExecutorsLimit pins the MaxExecutors cap.
+func TestParseExecutorsLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxExecutors; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "h:%d", i+1)
+	}
+	if _, err := ParseExecutors(sb.String()); err == nil {
+		t.Fatalf("%d executors must exceed the cap", MaxExecutors+1)
+	}
+}
+
+// TestValidateShardCountUnified pins the single-place bounds rule all
+// three entry points (parser, knobs, SHOW SHARDS execution) share.
+func TestValidateShardCountUnified(t *testing.T) {
+	for _, bad := range []int64{0, -1, MaxShards + 1} {
+		if err := ValidateShardCount(bad); err == nil {
+			t.Fatalf("ValidateShardCount(%d) must fail", bad)
+		}
+	}
+	for _, ok := range []int64{1, 2, MaxShards} {
+		if err := ValidateShardCount(ok); err != nil {
+			t.Fatalf("ValidateShardCount(%d): %v", ok, err)
+		}
 	}
 }

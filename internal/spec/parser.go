@@ -258,11 +258,11 @@ func (p *parser) showShards() (*Statement, error) {
 	}
 	st := &Statement{Kind: KindShowShards, From: name}
 	if t := p.peek(); t.kind == tokNumber {
-		if !t.isInt || t.ival < 1 {
-			return nil, p.errf("SHOW SHARDS wants a positive integer shard count, found %s", t)
+		if !t.isInt {
+			return nil, p.errf("SHOW SHARDS wants an integer shard count, found %s", t)
 		}
-		if t.ival > MaxShards {
-			return nil, p.errf("SHOW SHARDS count %d exceeds the limit of %d", t.ival, MaxShards)
+		if err := ValidateShardCount(t.ival); err != nil {
+			return nil, fmt.Errorf("SHOW SHARDS: %w", err)
 		}
 		p.i++
 		st.ShardCount = t.ival

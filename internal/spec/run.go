@@ -3,9 +3,13 @@ package spec
 import (
 	"fmt"
 	"math"
+	"net"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"bismarck/internal/core"
+	"bismarck/internal/dist"
 	"bismarck/internal/engine"
 	"bismarck/internal/ordering"
 	"bismarck/internal/parallel"
@@ -29,6 +33,7 @@ const (
 	KnobWorkers   = "workers"
 	KnobShards    = "shards"
 	KnobShardBy   = "shard_by"
+	KnobExecutors = "executors"
 	KnobMRS       = "mrs"
 	KnobReservoir = "reservoir"
 	KnobSolver    = "solver"
@@ -51,6 +56,7 @@ var KnobSpecs = []ParamSpec{
 	IntDefault(KnobWorkers, 0, "parallel workers (0 = all cores)"),
 	IntDefault(KnobShards, 0, "shared-nothing shards: K partitioned epoch workers merged by model averaging (0 disables)"),
 	EnumParam(KnobShardBy, []string{"roundrobin", "hash"}, "row-to-shard assignment for shards=K"),
+	StringParam(KnobExecutors, "comma-separated executor host:port list: run sharded training on remote bismarckd -executor processes"),
 	IntDefault(KnobMRS, 0, "multiplexed reservoir sampling buffer capacity (§3.4)"),
 	IntDefault(KnobReservoir, 0, "single-reservoir subsample buffer capacity"),
 	EnumParam(KnobSolver, []string{"igd", "batch", "irls", "als"}, "training algorithm (igd is Bismarck)"),
@@ -65,6 +71,68 @@ var KnobSpecs = []ParamSpec{
 // one-line OOM kill of the daemon.
 const MaxShards = 1024
 
+// MaxExecutors caps the executors host list. Each executor costs the
+// coordinator a connection, a shard-shipping pass and a per-epoch round
+// trip, so a huge list from an untrusted statement is a resource-exhaustion
+// vector, not a deployment anyone runs.
+const MaxExecutors = 64
+
+// ValidateShardCount is the single bounds check for every user-supplied
+// shard count — the WITH shards=K knob, the SHOW SHARDS <table> [k] form,
+// and programmatically built statements all funnel through it, so the
+// K<=0 and K>MaxShards rules cannot drift apart across entry points.
+func ValidateShardCount(k int64) error {
+	if k <= 0 {
+		return fmt.Errorf("spec: shard count must be a positive integer, got %d", k)
+	}
+	if k > MaxShards {
+		return fmt.Errorf("spec: shard count %d exceeds the limit of %d", k, MaxShards)
+	}
+	return nil
+}
+
+// ParseExecutors validates and splits the executors knob: a comma-separated
+// host:port list. Entries must carry an explicit numeric port (1..65535) —
+// the coordinator dials exactly what the statement names, so a missing or
+// malformed port should fail at bind time, not as a confusing dial error
+// mid-train. Duplicates are rejected: the same address twice would ship two
+// shard sets to one process while the planner believes it has spare
+// capacity for requeue.
+func ParseExecutors(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxExecutors {
+		return nil, fmt.Errorf("spec: executors lists %d addresses, limit is %d", len(parts), MaxExecutors)
+	}
+	out := make([]string, 0, len(parts))
+	seen := map[string]bool{}
+	for _, part := range parts {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("spec: executors has an empty address (stray comma?)")
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("spec: executors address %q is not host:port: %v", addr, err)
+		}
+		if host == "" {
+			return nil, fmt.Errorf("spec: executors address %q has an empty host", addr)
+		}
+		p, err := strconv.Atoi(port)
+		if err != nil || p < 1 || p > 65535 {
+			return nil, fmt.Errorf("spec: executors address %q has an invalid port %q", addr, port)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("spec: executors lists %q twice", addr)
+		}
+		seen[addr] = true
+		out = append(out, addr)
+	}
+	return out, nil
+}
+
 // Knobs are the bound uniform training controls of one statement.
 type Knobs struct {
 	Alpha     float64 // 0 = unset
@@ -78,6 +146,7 @@ type Knobs struct {
 	Workers   int
 	Shards    int
 	ShardBy   string
+	Executors []string // remote executor addresses; empty = in-process
 	MRS       int
 	Reservoir int
 	Solver    string
@@ -116,34 +185,43 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 		Workers:   p.Int(KnobWorkers),
 		Shards:    p.Int(KnobShards),
 		ShardBy:   p.Str(KnobShardBy),
+		Executors: nil,
 		MRS:       p.Int(KnobMRS),
 		Reservoir: p.Int(KnobReservoir),
 		Solver:    p.Str(KnobSolver),
 		Threshold: p.Float(KnobThreshold),
 		Degraded:  p.Str(KnobDegraded) == "true",
 	}
-	// An explicit shards knob must be a positive partition count: shards=0
-	// silently meaning "unsharded" would mask a typo, and negative counts
-	// are nonsense (the default 0 only means "no sharding" when omitted).
+	if execs, err := ParseExecutors(p.Str(KnobExecutors)); err != nil {
+		return Knobs{}, nil, err
+	} else {
+		k.Executors = execs
+	}
+	// An explicit shards knob must be a positive partition count within the
+	// shared MaxShards bound: shards=0 silently meaning "unsharded" would
+	// mask a typo (the default 0 only means "no sharding" when omitted).
 	for _, pr := range knobPairs {
-		if pr.Key == KnobShards && pr.Val.Int <= 0 {
-			return Knobs{}, nil, fmt.Errorf("spec: shards must be a positive integer, got %s", pr.Val)
+		if pr.Key == KnobShards {
+			if err := ValidateShardCount(pr.Val.Int); err != nil {
+				return Knobs{}, nil, err
+			}
 		}
-		if pr.Key == KnobShards && pr.Val.Int > MaxShards {
-			return Knobs{}, nil, fmt.Errorf("spec: shards=%s exceeds the limit of %d", pr.Val, MaxShards)
-		}
-		if pr.Key == KnobShardBy && k.Shards == 0 {
-			return Knobs{}, nil, fmt.Errorf("spec: shard_by requires shards=K")
+		if pr.Key == KnobShardBy && k.Shards == 0 && len(k.Executors) == 0 {
+			return Knobs{}, nil, fmt.Errorf("spec: shard_by requires shards=K or executors=...")
 		}
 	}
+	// Distributed training is the sharded mode with remote workers, so the
+	// shards knob composes with executors (it pins K); everything else in
+	// the exclusive set conflicts with it exactly as it does with shards.
+	sharded := k.Shards > 0 || len(k.Executors) > 0
 	exclusive := 0
-	for _, on := range []bool{k.Parallel != "none", k.MRS > 0, k.Reservoir > 0, k.Shards > 0} {
+	for _, on := range []bool{k.Parallel != "none", k.MRS > 0, k.Reservoir > 0, sharded} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		return Knobs{}, nil, fmt.Errorf("spec: parallel, mrs, reservoir and shards are mutually exclusive")
+		return Knobs{}, nil, fmt.Errorf("spec: parallel, mrs, reservoir and shards/executors are mutually exclusive")
 	}
 	// Reject explicitly-written knobs the selected trainer would silently
 	// ignore (defaults are fine): baseline solvers have no IGD step/order
@@ -180,6 +258,11 @@ func SplitKnobs(with []Param) (Knobs, []Param, error) {
 	// workers knob would be silently ignored.
 	if k.Shards > 0 {
 		if err := rejectExplicit("shards", KnobWorkers); err != nil {
+			return Knobs{}, nil, err
+		}
+	}
+	if len(k.Executors) > 0 {
+		if err := rejectExplicit("executors", KnobWorkers); err != nil {
 			return Knobs{}, nil, err
 		}
 	}
@@ -250,6 +333,44 @@ type Outcome struct {
 	Epochs int
 	Loss   float64 // NaN when the trainer kept no losses
 	Method string  // human-readable dispatch description
+}
+
+// TrainDistributed runs the sharded IGD loop over remote executor
+// processes (the WITH executors=... mode): the view partitions exactly
+// like the in-process sharded trainer, the shards scatter to the listed
+// bismarckd -executor daemons, and each epoch is one STEP round trip per
+// shard merged by row-weighted averaging. It needs the TaskSpec, not
+// just the built task: the executors rebuild the task from its registry
+// name plus the Snapshot parameters, the same metadata-only path model
+// restores use.
+func TrainDistributed(ts *TaskSpec, task core.Task, k Knobs, view *engine.Table) (*Outcome, error) {
+	if ts.Snapshot == nil {
+		return nil, fmt.Errorf("spec: task %s cannot train on remote executors (no parameter snapshot to ship)", ts.Name)
+	}
+	epochs := k.Epochs
+	if epochs <= 0 {
+		epochs = 20
+	}
+	tr := &dist.Trainer{
+		Executors:  k.Executors,
+		TaskName:   ts.Name,
+		TaskParams: ts.Snapshot(task),
+		Task:       task,
+		Step:       k.StepRule(0.1),
+		OrderName:  k.Order,
+		MaxEpochs:  epochs,
+		Shards:     k.Shards,
+		MaxShards:  MaxShards,
+		Strategy:   k.ShardStrategy(),
+		RelTol:     k.Tol,
+		Seed:       k.Seed,
+	}
+	res, err := tr.Run(view)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Model: res.Model, Epochs: res.Epochs, Loss: res.FinalLoss(),
+		Method: fmt.Sprintf("IGD/Distributed(executors=%d, %s)", len(k.Executors), tr.Strategy)}, nil
 }
 
 // TrainIGD dispatches the statement onto the matching IGD trainer — the

@@ -220,12 +220,16 @@ func (s *Session) showModels() error {
 // under each strategy — the skew diagnostic behind WITH shards=K. Both
 // strategies assign by row index alone, so the distributions come from
 // engine.ShardCounts without moving (or copying) any data; only the row
-// count is read under the table's shared lock. The count cap is
+// count is read under the table's shared lock. The count bounds are
 // re-checked here because spec.Statement is exported — a programmatically
-// built statement must face the same limit the parser enforces.
+// built statement must face the same spec.ValidateShardCount rules the
+// parser and the WITH shards=K knob enforce (0 means "count omitted":
+// default to the core count).
 func (s *Session) showShards(st *spec.Statement) error {
-	if st.ShardCount > spec.MaxShards {
-		return fmt.Errorf("sqlish: SHOW SHARDS count %d exceeds the limit of %d", st.ShardCount, spec.MaxShards)
+	if st.ShardCount != 0 {
+		if err := spec.ValidateShardCount(st.ShardCount); err != nil {
+			return err
+		}
 	}
 	// The shared lock covers only the resolve and the row-count read; the
 	// report prints after release. s.Out can be a network connection, and
@@ -390,9 +394,14 @@ func (s *Session) train(st *spec.Statement) error {
 		return err
 	}
 	var out *spec.Outcome
-	if knobs.Solver == "igd" {
+	switch {
+	case len(knobs.Executors) > 0:
+		// WITH executors=...: the sharded IGD loop with remote workers
+		// (SplitKnobs already pinned the solver to igd for this mode).
+		out, err = spec.TrainDistributed(ts, task, knobs, view.Table)
+	case knobs.Solver == "igd":
 		out, err = spec.TrainIGD(task, knobs, view.Table)
-	} else {
+	default:
 		out, err = runSolver(task, ts, knobs, view.Table)
 	}
 	if err != nil {
